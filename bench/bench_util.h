@@ -1,0 +1,96 @@
+// Shared harness for the figure-reproduction benches: runs one Sprite-like
+// trace under the four §5.1 flush policies on the Allspice topology and
+// prints the series the paper plots.
+#ifndef PFS_BENCH_BENCH_UTIL_H_
+#define PFS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "patsy/patsy.h"
+#include "workload/generator.h"
+
+namespace pfs::bench {
+
+// BENCH_SCALE scales trace duration (1.0 default); the curves' shape is
+// stable across scales.
+inline double GetScale() {
+  const char* env = std::getenv("BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+// Default trace scale for the figure benches: large enough for stable
+// curves, small enough that the full sweep finishes in minutes.
+inline double DefaultScale() { return GetScale() * 0.5; }
+
+struct PolicyRun {
+  std::string label;
+  std::string policy;
+};
+
+inline std::vector<PolicyRun> PaperPolicies() {
+  return {
+      {"write-delay-30s", "write-delay"},
+      {"nvram-partial-file", "nvram-partial"},
+      {"nvram-whole-file", "nvram-whole"},
+      {"ups", "ups"},
+  };
+}
+
+inline PatsyConfig PaperConfig(const std::string& flush_policy) {
+  PatsyConfig config;  // Allspice defaults: 3 busses, 10 disks, 14 LFS
+  config.flush_policy = flush_policy;
+  return config;
+}
+
+inline Result<SimulationResult> RunPolicy(const std::string& trace_name,
+                                          const std::string& policy, double scale) {
+  WorkloadParams params = WorkloadParams::SpriteLike(trace_name, scale);
+  SimulationOptions options;
+  options.collect_interval_reports = false;
+  // Bound the run: a saturated configuration (cache permanently all-dirty)
+  // must still terminate and report the latencies it measured.
+  options.max_simulated_time = params.duration + Duration::Minutes(2);
+  return RunTraceSimulation(PaperConfig(policy), GenerateWorkload(params), options);
+}
+
+// Prints one figure: the cumulative latency distribution for each policy on
+// one trace (the series of the paper's Figures 2-4), plus the mean-latency
+// markers the paper draws as horizontal bars.
+inline int RunCdfFigure(const char* figure, const char* trace_name) {
+  const double scale = DefaultScale();
+  std::printf("# %s: cumulative distribution of file-system latencies, trace %s\n", figure,
+              trace_name);
+  std::printf("# (Patsy, Allspice rebuild: 3 SCSI busses, 10x HP97560, 14x LFS; scale=%.2f)\n",
+              scale);
+  for (const PolicyRun& run : PaperPolicies()) {
+    auto result = RunPolicy(trace_name, run.policy, scale);
+    if (!result.ok()) {
+      std::printf("ERROR %s: %s\n", run.label.c_str(), result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n## policy=%s ops=%llu mean=%.3fms p50=%.3fms p95=%.3fms\n",
+                run.label.c_str(), static_cast<unsigned long long>(result->ops),
+                result->overall.mean().ToMillisF(),
+                result->overall.Percentile(0.5).ToMillisF(),
+                result->overall.Percentile(0.95).ToMillisF());
+    std::printf("# latency_ms cumulative_fraction\n");
+    for (const auto& point : result->overall.Cdf()) {
+      std::printf("%.4f %.5f\n", point.millis, point.fraction);
+    }
+    std::printf("# landmarks: <=2ms(cache)=%.3f  <=17ms(one rotation)=%.3f\n",
+                result->overall.FractionBelow(Duration::Millis(2)),
+                result->overall.FractionBelow(Duration::Millis(17)));
+  }
+  return 0;
+}
+
+}  // namespace pfs::bench
+
+#endif  // PFS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,5 @@
+// Figure 2: cumulative distribution of file-system latencies, Sprite trace
+// 1a, under the four delayed-write policies (paper §5.1).
+#include "bench_util.h"
+
+int main() { return pfs::bench::RunCdfFigure("Figure 2", "1a"); }

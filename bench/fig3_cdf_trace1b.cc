@@ -1,0 +1,6 @@
+// Figure 3: latency CDF for trace 1b — many large parallel writes; the NVRAM
+// buffer drains at disk speed and write-back degenerates toward
+// write-through (paper §5.1).
+#include "bench_util.h"
+
+int main() { return pfs::bench::RunCdfFigure("Figure 3", "1b"); }

@@ -1,0 +1,6 @@
+// Figure 4: latency CDF for trace 5 — large writes plus heavy stat/read
+// traffic; dirty data clutters the cache and read hit rates drop under the
+// naive write-saving flush (paper §5.1).
+#include "bench_util.h"
+
+int main() { return pfs::bench::RunCdfFigure("Figure 4", "5"); }

@@ -1,0 +1,130 @@
+// Framework micro-costs: scheduler context switches, event signalling,
+// channel hand-offs, and SCSI-bus contention scaling. Documents the
+// simulator's own overheads (the paper's §5.2 concern: simulation speed).
+#include <benchmark/benchmark.h>
+
+#include "bus/scsi_bus.h"
+#include "sched/channel.h"
+#include "sched/scheduler.h"
+
+namespace {
+
+using namespace pfs;
+
+void BM_SpawnRunEmptyThread(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sched = Scheduler::CreateVirtual();
+    sched->Spawn("t", []() -> Task<> { co_return; }());
+    sched->Run();
+  }
+}
+BENCHMARK(BM_SpawnRunEmptyThread);
+
+void BM_ContextSwitch(benchmark::State& state) {
+  // Two threads ping-ponging via Yield; measures switches/second.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sched = Scheduler::CreateVirtual();
+    auto yielder = [](Scheduler* s, int n) -> Task<> {
+      for (int i = 0; i < n; ++i) {
+        co_await s->Yield();
+      }
+    };
+    sched->Spawn("a", yielder(sched.get(), 512));
+    sched->Spawn("b", yielder(sched.get(), 512));
+    state.ResumeTiming();
+    sched->Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ContextSwitch);
+
+void BM_EventSignalWake(benchmark::State& state) {
+  // Producer bumps a counter and signals; the waiter re-checks the counter
+  // (condition-variable discipline, so no wakeup is lost to scheduling
+  // order).
+  struct Shared {
+    int produced = 0;
+    int consumed = 0;
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sched = Scheduler::CreateVirtual();
+    auto event = std::make_unique<Event>(sched.get());
+    auto shared = std::make_unique<Shared>();
+    auto waiter = [](Event* e, Shared* sh, int n) -> Task<> {
+      while (sh->consumed < n) {
+        while (sh->consumed >= sh->produced) {
+          co_await e->Wait();
+        }
+        ++sh->consumed;
+      }
+    };
+    auto signaler = [](Scheduler* s, Event* e, Shared* sh, int n) -> Task<> {
+      for (int i = 0; i < n; ++i) {
+        ++sh->produced;
+        e->Signal();
+        co_await s->Yield();
+      }
+    };
+    sched->Spawn("w", waiter(event.get(), shared.get(), 256));
+    sched->Spawn("s", signaler(sched.get(), event.get(), shared.get(), 256));
+    state.ResumeTiming();
+    sched->Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EventSignalWake);
+
+void BM_ChannelHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sched = Scheduler::CreateVirtual();
+    auto channel = std::make_unique<Channel<int>>(sched.get(), 8);
+    auto producer = [](Channel<int>* ch, int n) -> Task<> {
+      for (int i = 0; i < n; ++i) {
+        (void)co_await ch->Send(i);
+      }
+      ch->Close();
+    };
+    auto consumer = [](Channel<int>* ch) -> Task<> {
+      while ((co_await ch->Recv()).has_value()) {
+      }
+    };
+    sched->Spawn("p", producer(channel.get(), 512));
+    sched->Spawn("c", consumer(channel.get()));
+    state.ResumeTiming();
+    sched->Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_ChannelHandoff);
+
+void BM_BusContention(benchmark::State& state) {
+  // N initiators sharing one SCSI bus; wall-clock per simulated transfer
+  // stays flat while simulated time stretches with contention.
+  const int initiators = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sched = Scheduler::CreateVirtual();
+    auto bus = std::make_unique<ScsiBus>(sched.get(), "scsi0");
+    auto user = [](ScsiBus* b, int n) -> Task<> {
+      for (int i = 0; i < n; ++i) {
+        co_await b->Acquire();
+        co_await b->Transfer(4096);
+        b->Release();
+      }
+    };
+    for (int i = 0; i < initiators; ++i) {
+      sched->Spawn("u", user(bus.get(), 64));
+    }
+    state.ResumeTiming();
+    sched->Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * initiators);
+}
+BENCHMARK(BM_BusContention)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

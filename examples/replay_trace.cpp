@@ -1,0 +1,55 @@
+// Replay a Sprite-style trace in Patsy (the paper's §4/§5 workflow):
+// generate a workload, write it to a trace file, read it back with the
+// Sprite reader, replay it on the Allspice topology, and print the
+// measurements.
+//
+//   ./replay_trace [trace-name] [scale]     e.g. ./replay_trace 1b 0.5
+#include <cstdio>
+#include <cstdlib>
+
+#include "patsy/patsy.h"
+#include "workload/generator.h"
+
+using namespace pfs;
+
+int main(int argc, char** argv) {
+  const std::string trace_name = argc > 1 ? argv[1] : "1a";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+  // Generate and round-trip through the on-disk trace format.
+  const std::string path = "/tmp/pfs_example_trace_" + trace_name + ".sprite";
+  const auto generated = GenerateWorkload(WorkloadParams::SpriteLike(trace_name, scale));
+  if (!SpriteTraceWriter::WriteFile(path, generated).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  auto records = SpriteTraceReader::ReadFile(path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("trace %s: %zu records in %s\n", trace_name.c_str(), records->size(),
+              path.c_str());
+
+  PatsyConfig config;  // the Allspice rebuild
+  config.flush_policy = "write-delay";
+  auto result = RunTraceSimulation(config, std::move(*records));
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("simulated %.1f minutes of file-system time\n",
+              result->simulated_time.ToSecondsF() / 60.0);
+  std::printf("ops=%llu errors=%llu cache-hit-rate=%.1f%%\n",
+              static_cast<unsigned long long>(result->ops),
+              static_cast<unsigned long long>(result->errors),
+              result->cache_hit_rate * 100.0);
+  std::printf("overall: %s\n", result->overall.Summary().c_str());
+  std::printf("reads:   %s\n", result->reads.Summary().c_str());
+  std::printf("writes:  %s\n", result->writes.Summary().c_str());
+  for (const std::string& report : result->interval_reports) {
+    std::printf("\n%s", report.c_str());
+  }
+  return 0;
+}

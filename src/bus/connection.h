@@ -1,0 +1,49 @@
+// Connections: the links between host and disk sub-system (paper §4).
+//
+// A connection is acquired for each protocol phase (command, data-in,
+// data-out), released in between — modelling SCSI disconnect/reconnect — and
+// charges the calling thread the time a transfer of N bytes would take. When
+// several controllers contend, acquisition arbitrates among them and the
+// losers wait; that is exactly how the paper simulates SCSI bus contention.
+#ifndef PFS_BUS_CONNECTION_H_
+#define PFS_BUS_CONNECTION_H_
+
+#include <cstdint>
+
+#include "sched/task.h"
+#include "sched/time.h"
+
+namespace pfs {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Wins arbitration for exclusive use of the connection; blocks while
+  // another initiator holds it.
+  virtual Task<> Acquire() = 0;
+
+  // Releases the connection (disconnect); the next arbitration winner
+  // proceeds.
+  virtual void Release() = 0;
+
+  // Occupies the (held) connection for the duration of an n-byte transfer.
+  virtual Task<> Transfer(uint64_t bytes) = 0;
+
+  virtual Duration TransferTime(uint64_t bytes) const = 0;
+};
+
+// Pass-through connection for the on-line system: a real host moves bytes
+// over a real channel whose cost is already included in measured I/O time,
+// so the framework charges nothing extra.
+class NullConnection final : public Connection {
+ public:
+  Task<> Acquire() override { co_return; }
+  void Release() override {}
+  Task<> Transfer(uint64_t) override { co_return; }
+  Duration TransferTime(uint64_t) const override { return Duration(); }
+};
+
+}  // namespace pfs
+
+#endif  // PFS_BUS_CONNECTION_H_

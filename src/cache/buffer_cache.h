@@ -1,0 +1,184 @@
+// The file-system block cache (paper §2, "Caches").
+//
+// The base component administers all dirty, non-dirty and free blocks in LRU
+// lists and allocates blocks from the cache: first from the free list, then
+// by evicting from the non-dirty list, and when no non-dirty block exists it
+// initiates a cache flush through the oldest dirty block. Replacement and
+// flush behaviour are pluggable policies (replacement.h, flush_policy.h).
+//
+// In the real instantiation a chunk of memory is allocated at start and
+// divided over the cache blocks; the simulator leaves block data empty and
+// the DataMover accounts for copy time instead (paper §2).
+#ifndef PFS_CACHE_BUFFER_CACHE_H_
+#define PFS_CACHE_BUFFER_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block.h"
+#include "cache/flush_policy.h"
+#include "cache/replacement.h"
+#include "core/result.h"
+#include "core/units.h"
+#include "sched/scheduler.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+
+namespace pfs {
+
+// The storage side of the cache: each mounted file system registers one of
+// these to fill blocks from disk and to write dirty blocks back. Flushes are
+// file-grouped because log-structured layouts want to write whole files
+// contiguously.
+class BlockIoHandler {
+ public:
+  virtual ~BlockIoHandler() = default;
+
+  virtual Task<Status> FillBlock(const BlockId& id, CacheBlock* block) = 0;
+  virtual Task<Status> WriteBlocks(uint64_t ino, std::span<CacheBlock* const> blocks) = 0;
+};
+
+enum class GetMode : uint8_t {
+  kRead,       // caller needs current contents; fill from disk on miss
+  kOverwrite,  // caller will overwrite the whole block; no fill needed
+};
+
+class BufferCache : public StatSource {
+ public:
+  struct Config {
+    uint32_t block_size = kDefaultBlockSize;
+    uint64_t capacity_bytes = 8 * kMiB;
+    // Real instantiation: allocate the arena and hand each block a slice.
+    bool allocate_memory = false;
+    // §5.2 lesson: perform space-making flushes on a dedicated flusher
+    // thread instead of in the allocating thread.
+    bool async_flush = false;
+    // Async flusher keeps flushing until this many blocks are allocatable.
+    size_t flusher_target_blocks = 8;
+  };
+
+  BufferCache(Scheduler* sched, Config config, std::unique_ptr<ReplacementPolicy> replacement,
+              std::unique_ptr<FlushPolicy> flush_policy);
+  ~BufferCache() override;
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  // Registration and startup.
+  void RegisterHandler(uint32_t fs_id, BlockIoHandler* handler);
+  void Start();  // attaches the flush policy, spawns the flusher if async
+
+  // -- Block access (the File layer's interface) ---------------------------
+
+  // Returns the block pinned; callers must Release() it. kRead fills from
+  // disk on a miss; kOverwrite hands back an unfilled block.
+  Task<Result<CacheBlock*>> GetBlock(const BlockId& id, GetMode mode);
+
+  // Admits the new dirty bytes against the flush policy (may block, e.g.
+  // NVRAM budget) and moves the block to the dirty list. Call with the block
+  // pinned, before modifying its contents.
+  Task<Status> MarkDirty(CacheBlock* block);
+
+  void Release(CacheBlock* block);
+
+  // Per-file cache behaviour delegation (paper §2: a client can ask for a
+  // replacement policy when opening a file; the multimedia file type uses
+  // this to avoid flooding the cache).
+  void SetFileHint(uint32_t fs_id, uint64_t ino, FileCacheHint hint);
+
+  // -- Write-back ----------------------------------------------------------
+
+  // Flushes every unpinned dirty block of the file (whole-file flush).
+  Task<Status> FlushFile(uint32_t fs_id, uint64_t ino);
+
+  // Flushes one block.
+  Task<Status> FlushBlock(CacheBlock* block);
+
+  // Flushes the oldest dirty data: the file owning the oldest dirty block,
+  // or just that block. The flush policies' workhorse. Returns kNotFound if
+  // there is nothing flushable.
+  Task<Status> FlushOldest(bool whole_file);
+
+  // Flushes everything (unmount / sync).
+  Task<Status> SyncAll();
+
+  // Drops all blocks of `ino` with block_no >= from_block. Dirty data dies
+  // in memory — this is the overwrite absorption that write-saving policies
+  // bank on. Pinned blocks are doomed and freed on release.
+  void InvalidateFile(uint32_t fs_id, uint64_t ino, uint64_t from_block = 0);
+
+  // -- Introspection (policies, tests, stats plug-ins) ----------------------
+
+  Scheduler* scheduler() { return sched_; }
+  uint32_t block_size() const { return config_.block_size; }
+  size_t total_blocks() const { return pool_.size(); }
+  size_t free_count() const { return free_.size(); }
+  size_t clean_count() const { return clean_.size(); }
+  size_t dirty_count() const { return dirty_.size(); }
+  uint64_t dirty_bytes() const { return dirty_.size() * config_.block_size; }
+  const FlushPolicy& flush_policy() const { return *flush_policy_; }
+  const ReplacementPolicy& replacement_policy() const { return *replacement_; }
+
+  // Oldest dirty block not currently being written, or nullptr.
+  CacheBlock* OldestFlushableDirty();
+
+  // Fired on every dirty->clean transition or dirty-block invalidation;
+  // NVRAM admission waits on this while another thread's flush is in flight.
+  Event& cleaned_event() { return cleaned_; }
+
+  // StatSource
+  std::string stat_name() const override { return "cache"; }
+  std::string StatReport(bool with_histograms) const override;
+  void StatResetInterval() override;
+
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  double HitRate() const;
+  uint64_t blocks_flushed() const { return blocks_flushed_.value(); }
+  uint64_t absorbed_dirty_blocks() const { return absorbed_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
+
+ private:
+  Task<Result<CacheBlock*>> AllocateSlot();
+  void FreeBlock(CacheBlock* block);          // -> free list, identity cleared
+  void Touch(CacheBlock* block);              // MRU + policy hooks
+  void TransitionToClean(CacheBlock* block);  // dirty list -> clean list
+  Task<Status> FlushBlockSet(uint32_t fs_id, uint64_t ino, std::vector<CacheBlock*> blocks);
+  Task<> Flusher();  // async space-maker daemon
+
+  Scheduler* sched_;
+  Config config_;
+  std::unique_ptr<ReplacementPolicy> replacement_;
+  std::unique_ptr<FlushPolicy> flush_policy_;
+  bool started_ = false;
+
+  std::vector<std::byte> arena_;
+  std::vector<std::unique_ptr<CacheBlock>> pool_;
+  std::unordered_map<BlockId, CacheBlock*, BlockIdHash> map_;
+  BlockLruList free_;
+  BlockLruList clean_;
+  BlockLruList dirty_;  // ordered by first-dirtied time (front = oldest)
+
+  std::unordered_map<uint32_t, BlockIoHandler*> handlers_;
+  std::map<std::pair<uint32_t, uint64_t>, FileCacheHint> file_hints_;
+
+  Event cleaned_;
+  Event space_available_;  // signalled when free/clean blocks appear
+  Event flusher_wakeup_;   // async mode: allocation pressure
+
+  Counter hits_;
+  Counter misses_;
+  Counter fills_;
+  Counter evictions_;
+  Counter blocks_flushed_;
+  Counter files_flushed_;
+  Counter absorbed_;
+  Histogram dirty_fraction_{0, 1.0, 50};  // sampled at each MarkDirty
+};
+
+}  // namespace pfs
+
+#endif  // PFS_CACHE_BUFFER_CACHE_H_

@@ -1,0 +1,140 @@
+#include "cache/replacement.h"
+
+#include <limits>
+
+#include "core/check.h"
+
+namespace pfs {
+
+CacheBlock* LruReplacement::PickVictim(BlockLruList& clean) {
+  for (CacheBlock& b : clean) {
+    if (Evictable(b)) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+CacheBlock* RandomReplacement::PickVictim(BlockLruList& clean) {
+  if (clean.empty()) {
+    return nullptr;
+  }
+  // Walk to a random evictable block, bounded by the sample limit.
+  const size_t target = static_cast<size_t>(rng_.NextBelow(clean.size()));
+  size_t i = 0;
+  CacheBlock* fallback = nullptr;
+  for (CacheBlock& b : clean) {
+    if (Evictable(b)) {
+      if (i >= target || fallback == nullptr) {
+        if (i >= target) {
+          return &b;
+        }
+        fallback = &b;
+      }
+    }
+    if (++i > target + kSampleLimit) {
+      break;
+    }
+  }
+  return fallback;
+}
+
+CacheBlock* LfuReplacement::PickVictim(BlockLruList& clean) {
+  CacheBlock* best = nullptr;
+  uint64_t best_count = std::numeric_limits<uint64_t>::max();
+  size_t scanned = 0;
+  for (CacheBlock& b : clean) {
+    if (Evictable(b) && b.access_count < best_count) {
+      best = &b;
+      best_count = b.access_count;
+    }
+    if (++scanned >= kSampleLimit && best != nullptr) {
+      break;
+    }
+  }
+  return best;
+}
+
+CacheBlock* SlruReplacement::PickVictim(BlockLruList& clean) {
+  CacheBlock* protected_fallback = nullptr;
+  size_t scanned = 0;
+  for (CacheBlock& b : clean) {
+    if (!Evictable(b)) {
+      continue;
+    }
+    if (b.slru_protected == 0) {
+      return &b;  // oldest probationary block
+    }
+    if (protected_fallback == nullptr) {
+      protected_fallback = &b;
+    }
+    if (++scanned >= kSampleLimit && protected_fallback != nullptr) {
+      break;
+    }
+  }
+  if (protected_fallback != nullptr) {
+    return protected_fallback;
+  }
+  // Nothing in the sampled prefix; fall back to plain LRU over the whole list.
+  for (CacheBlock& b : clean) {
+    if (Evictable(b)) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+CacheBlock* Lru2Replacement::PickVictim(BlockLruList& clean) {
+  // Single-referenced blocks (prev_access unset) have infinite backward
+  // distance: evict the least-recently-used of those first.
+  CacheBlock* best = nullptr;
+  TimePoint best_prev = TimePoint::FromNanos(std::numeric_limits<int64_t>::max());
+  size_t scanned = 0;
+  for (CacheBlock& b : clean) {
+    if (!Evictable(b)) {
+      continue;
+    }
+    if (b.access_count <= 1) {
+      return &b;
+    }
+    if (b.prev_access < best_prev) {
+      best = &b;
+      best_prev = b.prev_access;
+    }
+    if (++scanned >= kSampleLimit && best != nullptr) {
+      break;
+    }
+  }
+  if (best != nullptr) {
+    return best;
+  }
+  for (CacheBlock& b : clean) {
+    if (Evictable(b)) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(const std::string& name,
+                                                         uint64_t seed) {
+  if (name == "LRU") {
+    return std::make_unique<LruReplacement>();
+  }
+  if (name == "RANDOM") {
+    return std::make_unique<RandomReplacement>(seed);
+  }
+  if (name == "LFU") {
+    return std::make_unique<LfuReplacement>();
+  }
+  if (name == "SLRU") {
+    return std::make_unique<SlruReplacement>();
+  }
+  if (name == "LRU-2") {
+    return std::make_unique<Lru2Replacement>();
+  }
+  PFS_CHECK_MSG(false, "unknown replacement policy");
+  return nullptr;
+}
+
+}  // namespace pfs

@@ -1,0 +1,100 @@
+// Cache replacement policies (paper §2, "Caches": "to experiment with
+// different replacement policies (e.g. RR, LFU, SLRU, LRU-K or adaptive),
+// only those functions that deal with LRU replacement need to be replaced").
+//
+// A policy sees insert/access/release events and picks eviction victims from
+// the clean list. The clean list is maintained in LRU order by the cache
+// itself, so plain LRU is O(1); the scan-based policies (LFU, LRU-2) sample
+// a bounded prefix of candidates, the standard approximation for large
+// caches.
+#ifndef PFS_CACHE_REPLACEMENT_H_
+#define PFS_CACHE_REPLACEMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/block.h"
+#include "core/intrusive_list.h"
+#include "core/random.h"
+
+namespace pfs {
+
+using BlockLruList = IntrusiveList<CacheBlock, &CacheBlock::lru_node>;
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // Block brought into the cache / hit in the cache.
+  virtual void OnInsert(CacheBlock* block) { (void)block; }
+  virtual void OnAccess(CacheBlock* block) { (void)block; }
+
+  // Picks an eviction victim from the clean list (front = least recently
+  // used), or nullptr if no block is evictable. Only unpinned, non-doomed,
+  // non-io blocks are legal victims; Evictable() checks that.
+  virtual CacheBlock* PickVictim(BlockLruList& clean) = 0;
+
+  static bool Evictable(const CacheBlock& b) {
+    return b.pin_count == 0 && !b.io_in_progress && !b.doomed;
+  }
+
+ protected:
+  // Bounded candidate scan used by the sampling policies.
+  static constexpr size_t kSampleLimit = 64;
+};
+
+// Least-recently-used: the base component's behaviour in the paper.
+class LruReplacement final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "LRU"; }
+  CacheBlock* PickVictim(BlockLruList& clean) override;
+};
+
+// Random replacement ("RR").
+class RandomReplacement final : public ReplacementPolicy {
+ public:
+  explicit RandomReplacement(uint64_t seed) : rng_(seed) {}
+  const char* name() const override { return "RANDOM"; }
+  CacheBlock* PickVictim(BlockLruList& clean) override;
+
+ private:
+  Rng rng_;
+};
+
+// Least-frequently-used over a bounded sample of the LRU prefix.
+class LfuReplacement final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "LFU"; }
+  void OnInsert(CacheBlock* block) override { block->access_count = 1; }
+  void OnAccess(CacheBlock* block) override { ++block->access_count; }
+  CacheBlock* PickVictim(BlockLruList& clean) override;
+};
+
+// Segmented LRU: blocks enter a probationary segment and are promoted to the
+// protected segment on re-reference; probationary blocks are evicted first.
+class SlruReplacement final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "SLRU"; }
+  void OnInsert(CacheBlock* block) override { block->slru_protected = 0; }
+  void OnAccess(CacheBlock* block) override { block->slru_protected = 1; }
+  CacheBlock* PickVictim(BlockLruList& clean) override;
+};
+
+// LRU-2: evict the block with the oldest second-to-last reference; blocks
+// with only one reference are preferred victims (backward distance infinite).
+class Lru2Replacement final : public ReplacementPolicy {
+ public:
+  const char* name() const override { return "LRU-2"; }
+  CacheBlock* PickVictim(BlockLruList& clean) override;
+};
+
+// Factory by name for experiment configuration ("LRU", "RANDOM", "LFU",
+// "SLRU", "LRU-2").
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(const std::string& name,
+                                                         uint64_t seed = 1);
+
+}  // namespace pfs
+
+#endif  // PFS_CACHE_REPLACEMENT_H_

@@ -1,0 +1,67 @@
+// The abstract client interface (paper §2): "provides the basic file-system
+// interface. There are functions to open, close, read, write or delete a
+// file and there are functions to manipulate an hierarchical name-space."
+//
+// Front-ends derive from (or dispatch into) this interface: the NFS-style
+// server in nfs/, the trace replayers in trace/, and applications directly.
+#ifndef PFS_CLIENT_CLIENT_INTERFACE_H_
+#define PFS_CLIENT_CLIENT_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fs/directory.h"
+#include "sched/task.h"
+
+namespace pfs {
+
+using Fd = int32_t;
+
+struct OpenOptions {
+  bool create = false;
+  FileType create_type = FileType::kRegular;
+  // Per-open cache-policy delegation (paper §2 / Cao et al.): the client may
+  // ask the file system to manage this file's blocks differently.
+  FileCacheHint cache_hint = FileCacheHint::kNormal;
+};
+
+struct FileAttrs {
+  uint64_t ino;
+  FileType type;
+  uint64_t size;
+  uint32_t nlink;
+  int64_t mtime_ns;
+};
+
+class ClientInterface {
+ public:
+  virtual ~ClientInterface() = default;
+
+  virtual Task<Result<Fd>> Open(const std::string& path, OpenOptions options) = 0;
+  virtual Task<Status> Close(Fd fd) = 0;
+
+  virtual Task<Result<uint64_t>> Read(Fd fd, uint64_t offset, uint64_t len,
+                                      std::span<std::byte> out) = 0;
+  virtual Task<Result<uint64_t>> Write(Fd fd, uint64_t offset, uint64_t len,
+                                       std::span<const std::byte> in) = 0;
+  virtual Task<Status> Truncate(Fd fd, uint64_t new_size) = 0;
+  virtual Task<Status> Fsync(Fd fd) = 0;
+  virtual Task<Result<FileAttrs>> FStat(Fd fd) = 0;
+
+  virtual Task<Result<FileAttrs>> Stat(const std::string& path) = 0;
+  virtual Task<Status> Unlink(const std::string& path) = 0;
+  virtual Task<Status> Mkdir(const std::string& path) = 0;
+  virtual Task<Status> Rmdir(const std::string& path) = 0;
+  virtual Task<Status> Rename(const std::string& from, const std::string& to) = 0;
+  virtual Task<Result<std::vector<DirEntry>>> ReadDir(const std::string& path) = 0;
+  virtual Task<Status> SymlinkAt(const std::string& path, const std::string& target) = 0;
+  virtual Task<Result<std::string>> ReadLink(const std::string& path) = 0;
+
+  // Flushes all dirty state to stable storage.
+  virtual Task<Status> SyncAll() = 0;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_CLIENT_CLIENT_INTERFACE_H_

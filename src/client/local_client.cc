@@ -1,0 +1,366 @@
+#include "client/local_client.h"
+
+#include <algorithm>
+
+namespace pfs {
+namespace {
+
+// Splits "/mnt/a/b" into {"mnt", "a", "b"}; empty components collapse.
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) {
+        parts.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    parts.push_back(std::move(cur));
+  }
+  return parts;
+}
+
+}  // namespace
+
+void LocalClient::AddMount(const std::string& name, FileSystem* fs) {
+  PFS_CHECK(fs != nullptr);
+  Mount mount;
+  mount.fs = fs;
+  mount.table = std::make_unique<FileTable>(fs);
+  PFS_CHECK_MSG(mounts_.emplace(name, std::move(mount)).second, "duplicate mount");
+}
+
+FileAttrs LocalClient::AttrsOf(const File& file) {
+  const Inode& inode = file.inode();
+  return FileAttrs{inode.ino, inode.type, inode.size, inode.nlink, inode.mtime_ns};
+}
+
+Task<Result<LocalClient::Resolved>> LocalClient::ResolveParent(const std::string& path) {
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    co_return Status(ErrorCode::kInvalidArgument, "empty path");
+  }
+  auto mount_it = mounts_.find(parts[0]);
+  if (mount_it == mounts_.end()) {
+    co_return Status(ErrorCode::kNotFound, "no mount " + parts[0]);
+  }
+  Mount* mount = &mount_it->second;
+  if (parts.size() == 1) {
+    co_return Resolved{mount, 0, ""};
+  }
+  uint64_t dir_ino = mount->fs->layout()->root_ino();
+  for (size_t i = 1; i + 1 < parts.size(); ++i) {
+    PFS_CO_ASSIGN_OR_RETURN(File * file, co_await mount->table->Acquire(dir_ino));
+    if (file->type() != FileType::kDirectory) {
+      (void)co_await mount->table->Release(dir_ino);
+      co_return Status(ErrorCode::kNotDirectory, parts[i]);
+    }
+    auto* dir = static_cast<Directory*>(file);
+    auto entry_or = co_await dir->Lookup(parts[i]);
+    (void)co_await mount->table->Release(dir_ino);
+    PFS_CO_RETURN_IF_ERROR(entry_or.status());
+    dir_ino = entry_or->ino;
+  }
+  co_return Resolved{mount, dir_ino, parts.back()};
+}
+
+Task<Result<std::pair<LocalClient::Mount*, DirEntry>>> LocalClient::ResolveExisting(
+    const std::string& path) {
+  PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
+  if (r.leaf.empty()) {
+    const uint64_t root = r.mount->fs->layout()->root_ino();
+    co_return std::make_pair(r.mount, DirEntry{"", root, FileType::kDirectory});
+  }
+  PFS_CO_ASSIGN_OR_RETURN(File * parent, co_await r.mount->table->Acquire(r.parent_ino));
+  if (parent->type() != FileType::kDirectory) {
+    (void)co_await r.mount->table->Release(r.parent_ino);
+    co_return Status(ErrorCode::kNotDirectory, path);
+  }
+  auto entry_or = co_await static_cast<Directory*>(parent)->Lookup(r.leaf);
+  (void)co_await r.mount->table->Release(r.parent_ino);
+  PFS_CO_RETURN_IF_ERROR(entry_or.status());
+  co_return std::make_pair(r.mount, *entry_or);
+}
+
+Task<Result<Fd>> LocalClient::Open(const std::string& path, OpenOptions options) {
+  PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
+  uint64_t ino = 0;
+  if (r.leaf.empty()) {
+    ino = r.mount->fs->layout()->root_ino();
+  } else {
+    PFS_CO_ASSIGN_OR_RETURN(File * parent, co_await r.mount->table->Acquire(r.parent_ino));
+    if (parent->type() != FileType::kDirectory) {
+      (void)co_await r.mount->table->Release(r.parent_ino);
+      co_return Status(ErrorCode::kNotDirectory, path);
+    }
+    auto* dir = static_cast<Directory*>(parent);
+    auto entry_or = co_await dir->Lookup(r.leaf);
+    if (entry_or.ok()) {
+      ino = entry_or->ino;
+    } else if (entry_or.code() == ErrorCode::kNotFound && options.create) {
+      auto ino_or = co_await r.mount->fs->layout()->AllocInode(options.create_type);
+      if (!ino_or.ok()) {
+        (void)co_await r.mount->table->Release(r.parent_ino);
+        co_return ino_or.status();
+      }
+      ino = *ino_or;
+      const Status add = co_await dir->Add(r.leaf, ino, options.create_type);
+      if (!add.ok()) {
+        (void)co_await r.mount->table->Release(r.parent_ino);
+        co_return add;
+      }
+    } else {
+      (void)co_await r.mount->table->Release(r.parent_ino);
+      co_return entry_or.status();
+    }
+    (void)co_await r.mount->table->Release(r.parent_ino);
+  }
+
+  if (options.cache_hint != FileCacheHint::kNormal) {
+    r.mount->fs->cache()->SetFileHint(r.mount->fs->fs_id(), ino, options.cache_hint);
+  }
+  PFS_CO_ASSIGN_OR_RETURN(File * file, co_await r.mount->table->Acquire(ino));
+  (void)file;
+  const Fd fd = next_fd_++;
+  open_files_[fd] = OpenFile{r.mount, ino};
+  co_return fd;
+}
+
+Task<Status> LocalClient::Close(Fd fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  const OpenFile open = it->second;
+  open_files_.erase(it);
+  co_return co_await open.mount->table->Release(open.ino);
+}
+
+Task<Result<uint64_t>> LocalClient::Read(Fd fd, uint64_t offset, uint64_t len,
+                                         std::span<std::byte> out) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  File* file = it->second.mount->table->Get(it->second.ino);
+  PFS_CHECK(file != nullptr);
+  co_await it->second.mount->fs->mover()->ChargeOpCost();
+  co_return co_await file->Read(offset, len, out);
+}
+
+Task<Result<uint64_t>> LocalClient::Write(Fd fd, uint64_t offset, uint64_t len,
+                                          std::span<const std::byte> in) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  File* file = it->second.mount->table->Get(it->second.ino);
+  PFS_CHECK(file != nullptr);
+  co_await it->second.mount->fs->mover()->ChargeOpCost();
+  co_return co_await file->Write(offset, len, in);
+}
+
+Task<Status> LocalClient::Truncate(Fd fd, uint64_t new_size) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  File* file = it->second.mount->table->Get(it->second.ino);
+  PFS_CHECK(file != nullptr);
+  co_return co_await file->Truncate(new_size);
+}
+
+Task<Status> LocalClient::Fsync(Fd fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  File* file = it->second.mount->table->Get(it->second.ino);
+  PFS_CHECK(file != nullptr);
+  co_return co_await file->Flush();
+}
+
+Task<Result<FileAttrs>> LocalClient::FStat(Fd fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  File* file = it->second.mount->table->Get(it->second.ino);
+  PFS_CHECK(file != nullptr);
+  co_return AttrsOf(*file);
+}
+
+Task<Result<FileAttrs>> LocalClient::Stat(const std::string& path) {
+  PFS_CO_ASSIGN_OR_RETURN(auto resolved, co_await ResolveExisting(path));
+  auto [mount, entry] = resolved;
+  PFS_CO_ASSIGN_OR_RETURN(File * file, co_await mount->table->Acquire(entry.ino));
+  const FileAttrs attrs = AttrsOf(*file);
+  PFS_CO_RETURN_IF_ERROR(co_await mount->table->Release(entry.ino));
+  co_return attrs;
+}
+
+Task<Status> LocalClient::Unlink(const std::string& path) {
+  PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
+  if (r.leaf.empty()) {
+    co_return Status(ErrorCode::kIsDirectory, "cannot unlink a mount root");
+  }
+  PFS_CO_ASSIGN_OR_RETURN(File * parent, co_await r.mount->table->Acquire(r.parent_ino));
+  auto* dir = static_cast<Directory*>(parent);
+  auto entry_or = co_await dir->Lookup(r.leaf);
+  if (!entry_or.ok()) {
+    (void)co_await r.mount->table->Release(r.parent_ino);
+    co_return entry_or.status();
+  }
+  if (entry_or->type == FileType::kDirectory) {
+    (void)co_await r.mount->table->Release(r.parent_ino);
+    co_return Status(ErrorCode::kIsDirectory, path);
+  }
+  PFS_CO_RETURN_IF_ERROR(co_await dir->Remove(r.leaf));
+  (void)co_await r.mount->table->Release(r.parent_ino);
+
+  const uint64_t ino = entry_or->ino;
+  if (r.mount->table->open_count(ino) > 0) {
+    // Unix semantics: the file lives until the last close.
+    r.mount->table->MarkDeletePending(ino);
+    co_return OkStatus();
+  }
+  // Dirty cached data dies in memory — the write-saving effect.
+  r.mount->fs->cache()->InvalidateFile(r.mount->fs->fs_id(), ino);
+  co_return co_await r.mount->fs->layout()->FreeInode(ino);
+}
+
+Task<Status> LocalClient::Mkdir(const std::string& path) {
+  PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
+  if (r.leaf.empty()) {
+    co_return Status(ErrorCode::kExists, path);
+  }
+  PFS_CO_ASSIGN_OR_RETURN(File * parent, co_await r.mount->table->Acquire(r.parent_ino));
+  if (parent->type() != FileType::kDirectory) {
+    (void)co_await r.mount->table->Release(r.parent_ino);
+    co_return Status(ErrorCode::kNotDirectory, path);
+  }
+  auto* dir = static_cast<Directory*>(parent);
+  auto ino_or = co_await r.mount->fs->layout()->AllocInode(FileType::kDirectory);
+  if (!ino_or.ok()) {
+    (void)co_await r.mount->table->Release(r.parent_ino);
+    co_return ino_or.status();
+  }
+  const Status add = co_await dir->Add(r.leaf, *ino_or, FileType::kDirectory);
+  (void)co_await r.mount->table->Release(r.parent_ino);
+  if (!add.ok()) {
+    (void)co_await r.mount->fs->layout()->FreeInode(*ino_or);
+  }
+  co_return add;
+}
+
+Task<Status> LocalClient::Rmdir(const std::string& path) {
+  PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
+  if (r.leaf.empty()) {
+    co_return Status(ErrorCode::kInvalidArgument, "cannot remove a mount root");
+  }
+  PFS_CO_ASSIGN_OR_RETURN(File * parent, co_await r.mount->table->Acquire(r.parent_ino));
+  auto* dir = static_cast<Directory*>(parent);
+  auto entry_or = co_await dir->Lookup(r.leaf);
+  if (!entry_or.ok() || entry_or->type != FileType::kDirectory) {
+    (void)co_await r.mount->table->Release(r.parent_ino);
+    co_return entry_or.ok() ? Status(ErrorCode::kNotDirectory, path) : entry_or.status();
+  }
+  // The victim must be empty.
+  PFS_CO_ASSIGN_OR_RETURN(File * victim_file, co_await r.mount->table->Acquire(entry_or->ino));
+  auto* victim = static_cast<Directory*>(victim_file);
+  const bool empty = victim->IsEmpty();
+  (void)co_await r.mount->table->Release(entry_or->ino);
+  if (!empty) {
+    (void)co_await r.mount->table->Release(r.parent_ino);
+    co_return Status(ErrorCode::kNotEmpty, path);
+  }
+  PFS_CO_RETURN_IF_ERROR(co_await dir->Remove(r.leaf));
+  (void)co_await r.mount->table->Release(r.parent_ino);
+  r.mount->fs->cache()->InvalidateFile(r.mount->fs->fs_id(), entry_or->ino);
+  co_return co_await r.mount->fs->layout()->FreeInode(entry_or->ino);
+}
+
+Task<Status> LocalClient::Rename(const std::string& from, const std::string& to) {
+  PFS_CO_ASSIGN_OR_RETURN(Resolved rf, co_await ResolveParent(from));
+  PFS_CO_ASSIGN_OR_RETURN(Resolved rt, co_await ResolveParent(to));
+  if (rf.leaf.empty() || rt.leaf.empty() || rf.mount != rt.mount) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad rename");
+  }
+  PFS_CO_ASSIGN_OR_RETURN(File * from_parent, co_await rf.mount->table->Acquire(rf.parent_ino));
+  auto* from_dir = static_cast<Directory*>(from_parent);
+  auto entry_or = co_await from_dir->Lookup(rf.leaf);
+  if (!entry_or.ok()) {
+    (void)co_await rf.mount->table->Release(rf.parent_ino);
+    co_return entry_or.status();
+  }
+  // Replace an existing regular-file target, per Unix rename semantics.
+  auto existing = co_await ResolveExisting(to);
+  if (existing.ok() && existing->second.type != FileType::kDirectory) {
+    PFS_CO_RETURN_IF_ERROR(co_await Unlink(to));
+  }
+  PFS_CO_RETURN_IF_ERROR(co_await from_dir->Remove(rf.leaf));
+  (void)co_await rf.mount->table->Release(rf.parent_ino);
+
+  PFS_CO_ASSIGN_OR_RETURN(File * to_parent, co_await rt.mount->table->Acquire(rt.parent_ino));
+  auto* to_dir = static_cast<Directory*>(to_parent);
+  const Status add = co_await to_dir->Add(rt.leaf, entry_or->ino, entry_or->type);
+  (void)co_await rt.mount->table->Release(rt.parent_ino);
+  co_return add;
+}
+
+Task<Result<std::vector<DirEntry>>> LocalClient::ReadDir(const std::string& path) {
+  PFS_CO_ASSIGN_OR_RETURN(auto resolved, co_await ResolveExisting(path));
+  auto [mount, entry] = resolved;
+  if (entry.type != FileType::kDirectory) {
+    co_return Status(ErrorCode::kNotDirectory, path);
+  }
+  PFS_CO_ASSIGN_OR_RETURN(File * file, co_await mount->table->Acquire(entry.ino));
+  auto list_or = co_await static_cast<Directory*>(file)->List();
+  PFS_CO_RETURN_IF_ERROR(co_await mount->table->Release(entry.ino));
+  co_return list_or;
+}
+
+Task<Status> LocalClient::SymlinkAt(const std::string& path, const std::string& target) {
+  OpenOptions options;
+  options.create = true;
+  options.create_type = FileType::kSymlink;
+  PFS_CO_ASSIGN_OR_RETURN(const Fd fd, co_await Open(path, options));
+  auto it = open_files_.find(fd);
+  auto* link = static_cast<Symlink*>(it->second.mount->table->Get(it->second.ino));
+  const Status status = co_await link->SetTarget(target);
+  PFS_CO_RETURN_IF_ERROR(co_await Close(fd));
+  co_return status;
+}
+
+Task<Result<std::string>> LocalClient::ReadLink(const std::string& path) {
+  PFS_CO_ASSIGN_OR_RETURN(auto resolved, co_await ResolveExisting(path));
+  auto [mount, entry] = resolved;
+  if (entry.type != FileType::kSymlink) {
+    co_return Status(ErrorCode::kInvalidArgument, "not a symlink");
+  }
+  PFS_CO_ASSIGN_OR_RETURN(File * file, co_await mount->table->Acquire(entry.ino));
+  auto target_or = co_await static_cast<Symlink*>(file)->ReadTarget();
+  PFS_CO_RETURN_IF_ERROR(co_await mount->table->Release(entry.ino));
+  co_return target_or;
+}
+
+Task<Status> LocalClient::SyncAll() {
+  BufferCache* cache = nullptr;
+  for (auto& [name, mount] : mounts_) {
+    if (cache != mount.fs->cache()) {
+      cache = mount.fs->cache();
+      PFS_CO_RETURN_IF_ERROR(co_await cache->SyncAll());
+    }
+  }
+  for (auto& [name, mount] : mounts_) {
+    PFS_CO_RETURN_IF_ERROR(co_await mount.fs->layout()->Sync());
+  }
+  co_return OkStatus();
+}
+
+}  // namespace pfs

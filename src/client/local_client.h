@@ -1,0 +1,84 @@
+// LocalClient: the concrete abstract-client-interface implementation that
+// resolves hierarchical names over one or more mounted file systems and
+// dispatches operations to instantiated files. Both PFS (via the NFS-style
+// front-end) and Patsy (via the trace replayers) drive this class — the same
+// code on-line and off-line, which is the point of the framework.
+//
+// Paths are "/<mount>/dir/.../name"; the first component selects the mounted
+// file system (the paper's server exported 14 file systems).
+#ifndef PFS_CLIENT_LOCAL_CLIENT_H_
+#define PFS_CLIENT_LOCAL_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "client/client_interface.h"
+#include "fs/file_system.h"
+#include "fs/file_table.h"
+
+namespace pfs {
+
+class LocalClient final : public ClientInterface {
+ public:
+  explicit LocalClient(Scheduler* sched) : sched_(sched) {}
+
+  // Mounts `fs` under "/<name>". The file system must be formatted/mounted
+  // at the layout level already.
+  void AddMount(const std::string& name, FileSystem* fs);
+
+  // ClientInterface
+  Task<Result<Fd>> Open(const std::string& path, OpenOptions options) override;
+  Task<Status> Close(Fd fd) override;
+  Task<Result<uint64_t>> Read(Fd fd, uint64_t offset, uint64_t len,
+                              std::span<std::byte> out) override;
+  Task<Result<uint64_t>> Write(Fd fd, uint64_t offset, uint64_t len,
+                               std::span<const std::byte> in) override;
+  Task<Status> Truncate(Fd fd, uint64_t new_size) override;
+  Task<Status> Fsync(Fd fd) override;
+  Task<Result<FileAttrs>> FStat(Fd fd) override;
+  Task<Result<FileAttrs>> Stat(const std::string& path) override;
+  Task<Status> Unlink(const std::string& path) override;
+  Task<Status> Mkdir(const std::string& path) override;
+  Task<Status> Rmdir(const std::string& path) override;
+  Task<Status> Rename(const std::string& from, const std::string& to) override;
+  Task<Result<std::vector<DirEntry>>> ReadDir(const std::string& path) override;
+  Task<Status> SymlinkAt(const std::string& path, const std::string& target) override;
+  Task<Result<std::string>> ReadLink(const std::string& path) override;
+  Task<Status> SyncAll() override;
+
+  size_t open_file_count() const { return open_files_.size(); }
+
+ private:
+  struct Mount {
+    FileSystem* fs;
+    std::unique_ptr<FileTable> table;
+  };
+
+  struct Resolved {
+    Mount* mount;
+    uint64_t parent_ino;     // directory holding the leaf (0 for fs root)
+    std::string leaf;        // final path component ("" for fs root)
+  };
+
+  struct OpenFile {
+    Mount* mount;
+    uint64_t ino;
+  };
+
+  // Splits "/mnt/a/b" and walks directories to the parent of the leaf.
+  Task<Result<Resolved>> ResolveParent(const std::string& path);
+  // Full resolution to an existing object's (mount, ino, type).
+  Task<Result<std::pair<Mount*, DirEntry>>> ResolveExisting(const std::string& path);
+
+  static FileAttrs AttrsOf(const File& file);
+
+  Scheduler* sched_;
+  std::map<std::string, Mount> mounts_;
+  std::map<Fd, OpenFile> open_files_;
+  Fd next_fd_ = 3;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_CLIENT_LOCAL_CLIENT_H_

@@ -1,0 +1,37 @@
+// Invariant-checking macros used throughout the framework.
+//
+// PFS_CHECK fires in all build types: a failed check is a programming error
+// (broken invariant), not an environmental condition, and the file-system
+// state can no longer be trusted once one fires.
+#ifndef PFS_CORE_CHECK_H_
+#define PFS_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PFS_CHECK(cond)                                                                  \
+  do {                                                                                   \
+    if (!(cond)) [[unlikely]] {                                                          \
+      ::std::fprintf(stderr, "PFS_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,      \
+                     #cond);                                                             \
+      ::std::abort();                                                                    \
+    }                                                                                    \
+  } while (0)
+
+#define PFS_CHECK_MSG(cond, msg)                                                         \
+  do {                                                                                   \
+    if (!(cond)) [[unlikely]] {                                                          \
+      ::std::fprintf(stderr, "PFS_CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, \
+                     #cond, msg);                                                        \
+      ::std::abort();                                                                    \
+    }                                                                                    \
+  } while (0)
+
+// Marks code paths that are structurally unreachable.
+#define PFS_UNREACHABLE()                                                                \
+  do {                                                                                   \
+    ::std::fprintf(stderr, "PFS_UNREACHABLE hit at %s:%d\n", __FILE__, __LINE__);        \
+    ::std::abort();                                                                      \
+  } while (0)
+
+#endif  // PFS_CORE_CHECK_H_

@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// Default level is kWarn so simulations stay quiet; tests and examples raise
+// it when tracing behaviour. Not thread-safe by design: the framework is
+// cooperatively scheduled on one OS thread, and the on-line server logs only
+// from the scheduler thread.
+#ifndef PFS_CORE_LOG_H_
+#define PFS_CORE_LOG_H_
+
+#include <cstdarg>
+
+namespace pfs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style. `tag` identifies the component ("cache", "lfs", "disk0").
+void LogAt(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace pfs
+
+#define PFS_LOG_DEBUG(tag, ...) ::pfs::LogAt(::pfs::LogLevel::kDebug, tag, __VA_ARGS__)
+#define PFS_LOG_INFO(tag, ...) ::pfs::LogAt(::pfs::LogLevel::kInfo, tag, __VA_ARGS__)
+#define PFS_LOG_WARN(tag, ...) ::pfs::LogAt(::pfs::LogLevel::kWarn, tag, __VA_ARGS__)
+#define PFS_LOG_ERROR(tag, ...) ::pfs::LogAt(::pfs::LogLevel::kError, tag, __VA_ARGS__)
+
+#endif  // PFS_CORE_LOG_H_

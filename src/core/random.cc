@@ -1,0 +1,115 @@
+#include "core/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace pfs {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  PFS_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  PFS_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextU64());
+  }
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextExponential(double mean) {
+  PFS_CHECK(mean > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u >= 1.0) {
+    u = 0x1.fffffffffffffp-1;
+  }
+  return -mean * std::log1p(-u);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  // Box-Muller.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return std::exp(mu + sigma * z);
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta) : n_(n) {
+  PFS_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = sum;
+  }
+  for (auto& c : cdf_) {
+    c /= sum;
+  }
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return n_ - 1;
+  }
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace pfs

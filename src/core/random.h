@@ -1,0 +1,71 @@
+// Deterministic pseudo-random numbers and the distributions the framework
+// needs (uniform, exponential, lognormal, Zipf).
+//
+// Everything random in the framework — the scheduler's random pick policy,
+// the guessing storage layout, the synthetic workload generator — draws from
+// an explicitly seeded Rng so that every experiment run is replayable. That
+// replayability is the paper's core methodological point (§1: a work load can
+// repeatedly be replayed on the same off-line simulator).
+#ifndef PFS_CORE_RANDOM_H_
+#define PFS_CORE_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pfs {
+
+// xoshiro256** seeded via splitmix64. Small, fast, reproducible across
+// platforms (unlike std::mt19937 + std:: distributions, whose outputs are not
+// specified identically everywhere).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Lognormal: exp(N(mu, sigma^2)).
+  double NextLogNormal(double mu, double sigma);
+
+  // Forks an independent stream; used to give each simulated client its own
+  // deterministic sequence regardless of sibling activity.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed ranks in [0, n). Popularity rank r has probability
+// proportional to 1/(r+1)^theta. Used for file-popularity skew in the
+// synthetic workloads (a small set of hot files absorbs most operations,
+// matching the trace characteristics the paper's experiments depend on).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n
+};
+
+}  // namespace pfs
+
+#endif  // PFS_CORE_RANDOM_H_

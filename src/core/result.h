@@ -1,0 +1,92 @@
+// Result<T>: value-or-Status, the return type of every fallible framework
+// operation that produces a value.
+#ifndef PFS_CORE_RESULT_H_
+#define PFS_CORE_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "core/check.h"
+#include "core/status.h"
+
+namespace pfs {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from a value or from a non-ok Status, so call sites read
+  // naturally: `return inode;` / `return Status(ErrorCode::kNotFound);`.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {
+    PFS_CHECK_MSG(!std::get<Status>(rep_).ok(), "Result constructed from ok Status");
+  }
+  Result(ErrorCode code) : rep_(Status(code)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Status of the result; Ok when a value is present.
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : std::get<Status>(rep_).code(); }
+
+  // Value accessors. Checked: calling value() on an error aborts.
+  T& value() & {
+    PFS_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    PFS_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    PFS_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return std::get<T>(rep_);
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace pfs
+
+// Assigns the value of a Result-returning expression or propagates its error.
+// Usage: PFS_ASSIGN_OR_RETURN(auto inode, layout.ReadInode(ino));
+//
+// These expand to multiple statements (not a do-while) so that `expr` may be
+// a co_await expression in the coroutine flavor — GCC cannot compile
+// co_await inside a statement expression. Use only at statement scope.
+#define PFS_RESULT_CONCAT_INNER(a, b) a##b
+#define PFS_RESULT_CONCAT(a, b) PFS_RESULT_CONCAT_INNER(a, b)
+
+#define PFS_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr, ret) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) ret tmp.status();                      \
+  decl = std::move(tmp).value()
+
+// Regular-function flavor.
+#define PFS_ASSIGN_OR_RETURN(decl, expr) \
+  PFS_ASSIGN_OR_RETURN_IMPL(PFS_RESULT_CONCAT(pfs_result_, __LINE__), decl, expr, return)
+
+// Coroutine flavor: co_returns the error; `expr` may contain co_await.
+#define PFS_CO_ASSIGN_OR_RETURN(decl, expr) \
+  PFS_ASSIGN_OR_RETURN_IMPL(PFS_RESULT_CONCAT(pfs_result_, __LINE__), decl, expr, co_return)
+
+#endif  // PFS_CORE_RESULT_H_

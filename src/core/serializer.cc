@@ -1,0 +1,105 @@
+#include "core/serializer.h"
+
+namespace pfs {
+
+void Serializer::Append(const void* data, size_t n) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out_->insert(out_->end(), p, p + n);
+}
+
+void Serializer::PutU16(uint16_t v) {
+  uint8_t b[2] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8)};
+  Append(b, sizeof(b));
+}
+
+void Serializer::PutU32(uint32_t v) {
+  uint8_t b[4];
+  for (int i = 0; i < 4; ++i) {
+    b[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  Append(b, sizeof(b));
+}
+
+void Serializer::PutU64(uint64_t v) {
+  uint8_t b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  Append(b, sizeof(b));
+}
+
+void Serializer::PutString(std::string_view s) {
+  PFS_CHECK_MSG(s.size() <= UINT16_MAX, "string too long to serialize");
+  PutU16(static_cast<uint16_t>(s.size()));
+  Append(s.data(), s.size());
+}
+
+Status Deserializer::Need(size_t n) const {
+  if (remaining() < n) {
+    return Status(ErrorCode::kCorrupt, "short buffer");
+  }
+  return OkStatus();
+}
+
+Result<uint8_t> Deserializer::TakeU8() {
+  PFS_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(in_[pos_++]);
+}
+
+Result<uint16_t> Deserializer::TakeU16() {
+  PFS_RETURN_IF_ERROR(Need(2));
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<uint16_t>(static_cast<uint8_t>(in_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Deserializer::TakeU32() {
+  PFS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(in_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Deserializer::TakeU64() {
+  PFS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(in_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> Deserializer::TakeI64() {
+  PFS_ASSIGN_OR_RETURN(uint64_t v, TakeU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<std::string> Deserializer::TakeString() {
+  PFS_ASSIGN_OR_RETURN(uint16_t len, TakeU16());
+  PFS_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Status Deserializer::TakeBytes(std::span<std::byte> out) {
+  PFS_RETURN_IF_ERROR(Need(out.size()));
+  std::memcpy(out.data(), in_.data() + pos_, out.size());
+  pos_ += out.size();
+  return OkStatus();
+}
+
+Status Deserializer::Skip(size_t n) {
+  PFS_RETURN_IF_ERROR(Need(n));
+  pos_ += n;
+  return OkStatus();
+}
+
+}  // namespace pfs

@@ -1,0 +1,53 @@
+#include "core/status.h"
+
+namespace pfs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kExists:
+      return "exists";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kNoSpace:
+      return "no-space";
+    case ErrorCode::kNotDirectory:
+      return "not-directory";
+    case ErrorCode::kIsDirectory:
+      return "is-directory";
+    case ErrorCode::kNotEmpty:
+      return "not-empty";
+    case ErrorCode::kCorrupt:
+      return "corrupt";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kOutOfRange:
+      return "out-of-range";
+    case ErrorCode::kNameTooLong:
+      return "name-too-long";
+    case ErrorCode::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pfs

@@ -1,0 +1,78 @@
+// Error propagation for the framework: Status (code + message) and the
+// PFS_RETURN_IF_ERROR / PFS_CO_RETURN_IF_ERROR macro family.
+//
+// Library code does not throw; every fallible operation returns Status or
+// Result<T> (see result.h). Coroutine variants of the macros use co_return,
+// matching the Task<> coroutines in sched/.
+#ifndef PFS_CORE_STATUS_H_
+#define PFS_CORE_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pfs {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kNotFound,          // no such file, directory entry, or object
+  kExists,            // object already exists
+  kInvalidArgument,   // caller passed something nonsensical
+  kIoError,           // device-level failure
+  kNoSpace,           // device or segment space exhausted
+  kNotDirectory,      // path component is not a directory
+  kIsDirectory,       // operation not valid on a directory
+  kNotEmpty,          // directory not empty on remove
+  kCorrupt,           // on-disk structure failed validation
+  kUnsupported,       // operation not implemented by this component
+  kBusy,              // resource temporarily unavailable
+  kOutOfRange,        // offset beyond end of object
+  kNameTooLong,       // path component exceeds the on-disk limit
+  kAborted,           // operation cancelled (e.g. shutdown)
+};
+
+// Human-readable name for an error code ("kNotFound" -> "not-found").
+std::string_view ErrorCodeName(ErrorCode code);
+
+// Value-type status. Ok status carries no allocation.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "not-found: /a/b missing".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+}  // namespace pfs
+
+// Propagates a non-ok Status from a regular function.
+#define PFS_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::pfs::Status pfs_status_ = (expr);        \
+    if (!pfs_status_.ok()) return pfs_status_; \
+  } while (0)
+
+// Propagates a non-ok Status from a coroutine (Task<Status> / Task<Result<T>>).
+#define PFS_CO_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::pfs::Status pfs_status_ = (expr);           \
+    if (!pfs_status_.ok()) co_return pfs_status_; \
+  } while (0)
+
+#endif  // PFS_CORE_STATUS_H_

@@ -1,0 +1,27 @@
+// Size units and small common aliases.
+#ifndef PFS_CORE_UNITS_H_
+#define PFS_CORE_UNITS_H_
+
+#include <cstdint>
+
+namespace pfs {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Framework-wide defaults. Both are configurable per instantiation; these are
+// the values used by the paper's experiments (4 KB file-system blocks on
+// 512-byte-sector disks).
+inline constexpr uint32_t kDefaultBlockSize = 4 * kKiB;
+inline constexpr uint32_t kSectorSize = 512;
+
+// Integer ceiling division for sizing calculations.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Rounds `a` up to a multiple of `b`.
+constexpr uint64_t RoundUp(uint64_t a, uint64_t b) { return CeilDiv(a, b) * b; }
+
+}  // namespace pfs
+
+#endif  // PFS_CORE_UNITS_H_

@@ -1,0 +1,64 @@
+// Disk geometry: cylinders/heads/sectors addressing and rotational timing.
+#ifndef PFS_DISK_GEOMETRY_H_
+#define PFS_DISK_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "sched/time.h"
+
+namespace pfs {
+
+struct Chs {
+  uint32_t cylinder;
+  uint32_t head;
+  uint32_t sector;
+};
+
+struct DiskGeometry {
+  uint32_t cylinders;
+  uint32_t heads;
+  uint32_t sectors_per_track;
+  uint32_t sector_bytes;
+  uint32_t rpm;
+
+  uint64_t TotalSectors() const {
+    return static_cast<uint64_t>(cylinders) * heads * sectors_per_track;
+  }
+  uint64_t TotalBytes() const { return TotalSectors() * sector_bytes; }
+
+  uint64_t SectorsPerCylinder() const {
+    return static_cast<uint64_t>(heads) * sectors_per_track;
+  }
+
+  // LBA layout: sectors within a track, tracks within a cylinder (head
+  // order), cylinders outward — the classical mapping.
+  Chs ToChs(uint64_t lba) const {
+    const uint64_t per_cyl = SectorsPerCylinder();
+    Chs chs;
+    chs.cylinder = static_cast<uint32_t>(lba / per_cyl);
+    const uint64_t in_cyl = lba % per_cyl;
+    chs.head = static_cast<uint32_t>(in_cyl / sectors_per_track);
+    chs.sector = static_cast<uint32_t>(in_cyl % sectors_per_track);
+    return chs;
+  }
+
+  uint64_t ToLba(const Chs& chs) const {
+    return static_cast<uint64_t>(chs.cylinder) * SectorsPerCylinder() +
+           static_cast<uint64_t>(chs.head) * sectors_per_track + chs.sector;
+  }
+
+  // One full revolution (e.g. 4002 rpm -> 14.99 ms).
+  Duration RotationTime() const { return Duration::Nanos(60LL * 1000000000LL / rpm); }
+
+  // Time for one sector to pass under the head.
+  Duration SectorTime() const { return RotationTime() / sectors_per_track; }
+
+  // Media transfer rate in bytes/second.
+  double MediaRate() const {
+    return static_cast<double>(sector_bytes) / SectorTime().ToSecondsF();
+  }
+};
+
+}  // namespace pfs
+
+#endif  // PFS_DISK_GEOMETRY_H_

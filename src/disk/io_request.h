@@ -1,0 +1,54 @@
+// I/O-request structure exchanged between disk-drivers and disks (paper §4:
+// "Simulation disk drivers package disk operations in I/O-request data
+// structures [which] contain all the relevant information for the disk
+// simulator ... and timing information to measure the performance").
+//
+// The same structure flows through the real (file-backed) driver, so the
+// queue-scheduling and measurement code is shared between PFS and Patsy.
+#ifndef PFS_DISK_IO_REQUEST_H_
+#define PFS_DISK_IO_REQUEST_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/status.h"
+#include "sched/event.h"
+#include "sched/time.h"
+
+namespace pfs {
+
+enum class IoOp : uint8_t { kRead, kWrite };
+
+struct IoRequest {
+  IoRequest(Scheduler* sched, IoOp op_in, uint64_t sector_in, uint32_t sector_count_in,
+            std::span<std::byte> read_buf_in, std::span<const std::byte> write_buf_in)
+      : op(op_in), sector(sector_in), sector_count(sector_count_in), read_buf(read_buf_in),
+        write_buf(write_buf_in), done(sched) {}
+
+  IoOp op;
+  uint64_t sector;        // starting LBA
+  uint32_t sector_count;  // length in sectors
+  // Byte buffers for the real system; empty in a simulator, where helper
+  // components account for transfer *time* instead of moving bytes.
+  std::span<std::byte> read_buf;         // filled by a real read
+  std::span<const std::byte> write_buf;  // consumed by a real write
+
+  uint64_t byte_count(uint32_t sector_bytes) const {
+    return static_cast<uint64_t>(sector_count) * sector_bytes;
+  }
+
+  // -- measurement (filled in as the request moves through the system) --
+  TimePoint enqueue_time;   // entered the driver queue
+  TimePoint dispatch_time;  // sent to the device
+  TimePoint complete_time;  // completion delivered to the issuer
+  Duration seek_time;       // mechanical breakdown, for the stats plug-ins
+  Duration rotational_delay;
+  bool served_from_disk_cache = false;
+
+  Status result;
+  Notification done;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_DISK_IO_REQUEST_H_

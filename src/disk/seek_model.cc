@@ -1,0 +1,23 @@
+#include "disk/seek_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pfs {
+
+Duration TwoRangeSeekModel::SeekTime(uint32_t from_cylinder, uint32_t to_cylinder) const {
+  if (from_cylinder == to_cylinder) {
+    return Duration();
+  }
+  const auto d = static_cast<uint32_t>(
+      std::abs(static_cast<int64_t>(from_cylinder) - static_cast<int64_t>(to_cylinder)));
+  double ms;
+  if (d < params_.boundary) {
+    ms = params_.short_a_ms + params_.short_b_ms * std::sqrt(static_cast<double>(d));
+  } else {
+    ms = params_.long_a_ms + params_.long_b_ms * static_cast<double>(d);
+  }
+  return Duration::MillisF(ms);
+}
+
+}  // namespace pfs

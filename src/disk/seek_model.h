@@ -1,0 +1,52 @@
+// Seek-time models. The HP 97560 uses the classic two-range curve from
+// Ruemmler & Wilkes, "An Introduction to Disk Drive Modeling" (IEEE Computer
+// 1994): a + b*sqrt(d) for short seeks (arm acceleration dominated), a + b*d
+// for long seeks (constant velocity).
+#ifndef PFS_DISK_SEEK_MODEL_H_
+#define PFS_DISK_SEEK_MODEL_H_
+
+#include <cstdint>
+
+#include "sched/time.h"
+
+namespace pfs {
+
+class SeekModel {
+ public:
+  virtual ~SeekModel() = default;
+  virtual Duration SeekTime(uint32_t from_cylinder, uint32_t to_cylinder) const = 0;
+};
+
+class TwoRangeSeekModel final : public SeekModel {
+ public:
+  struct Params {
+    uint32_t boundary;   // cylinder distance where the regimes switch
+    double short_a_ms;   // short seeks: a + b*sqrt(d) milliseconds
+    double short_b_ms;
+    double long_a_ms;    // long seeks: a + b*d milliseconds
+    double long_b_ms;
+  };
+
+  explicit TwoRangeSeekModel(Params params) : params_(params) {}
+
+  Duration SeekTime(uint32_t from_cylinder, uint32_t to_cylinder) const override;
+
+ private:
+  Params params_;
+};
+
+// Fixed-cost model for unit tests and synthetic ablations.
+class ConstantSeekModel final : public SeekModel {
+ public:
+  explicit ConstantSeekModel(Duration t) : t_(t) {}
+  Duration SeekTime(uint32_t from, uint32_t to) const override {
+    return from == to ? Duration() : t_;
+  }
+
+ private:
+  Duration t_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_DISK_SEEK_MODEL_H_

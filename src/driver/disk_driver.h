@@ -1,0 +1,100 @@
+// Disk-drivers (paper §3/§4): a combined read-write queue per disk, a
+// pluggable queue-scheduling policy (C-LOOK by default, as in the paper's
+// only production driver), and a device-specific dispatch hook.
+//
+// The queueing, measurement, and policy code is identical for the simulated
+// driver (SimDiskDriver: bus protocol + DiskModel) and the real driver
+// (FileBackedDriver: a Unix file as back-end) — this symmetry is the
+// cut-and-paste property the paper is about.
+#ifndef PFS_DRIVER_DISK_DRIVER_H_
+#define PFS_DRIVER_DISK_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "disk/io_request.h"
+#include "sched/scheduler.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+
+namespace pfs {
+
+// Queue-scheduling policies (paper §3 cites SCAN, C-SCAN, LOOK, C-LOOK).
+// The arm-positioning cost of sweeping to the physical edge is modelled by
+// the disk itself, so SCAN behaves as LOOK and C-SCAN as C-LOOK here.
+enum class QueueSchedPolicy : uint8_t { kFcfs, kSstf, kScan, kCscan, kLook, kClook };
+
+const char* QueueSchedPolicyName(QueueSchedPolicy p);
+
+class DiskDriver {
+ public:
+  virtual ~DiskDriver() = default;
+
+  virtual Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) = 0;
+  virtual Task<Status> Write(uint64_t sector, uint32_t count,
+                             std::span<const std::byte> in) = 0;
+
+  virtual uint64_t total_sectors() const = 0;
+  virtual uint32_t sector_bytes() const = 0;
+};
+
+// Base driver: owns the I/O queue and its scheduling policy; derived classes
+// implement Dispatch() for their device. One request is outstanding at the
+// device at a time (the device's own cache provides overlap).
+class QueueingDiskDriver : public DiskDriver, public StatSource {
+ public:
+  QueueingDiskDriver(Scheduler* sched, std::string name, QueueSchedPolicy policy);
+
+  // Spawns the driver's worker daemon; call once.
+  void Start();
+
+  Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) override;
+  Task<Status> Write(uint64_t sector, uint32_t count, std::span<const std::byte> in) override;
+
+  const std::string& name() const { return name_; }
+  QueueSchedPolicy policy() const { return policy_; }
+  size_t queue_length() const { return queue_.size(); }
+
+  // StatSource
+  std::string stat_name() const override { return "driver." + name_; }
+  std::string StatReport(bool with_histograms) const override;
+  void StatResetInterval() override;
+
+  uint64_t ops_completed() const { return ops_.value(); }
+  const Histogram& queue_length_hist() const { return queue_len_; }
+  const LatencyHistogram& io_latency() const { return latency_; }
+  const LatencyHistogram& queue_wait() const { return queue_wait_; }
+
+ protected:
+  Scheduler* sched() { return sched_; }
+
+  // Performs `req` on the device and returns when it completed (req->result
+  // and req->complete_time filled in).
+  virtual Task<> Dispatch(IoRequest* req) = 0;
+
+ private:
+  Task<Status> Submit(IoRequest* req);
+  Task<> Worker();
+  size_t PickNextIndex();
+
+  Scheduler* sched_;
+  std::string name_;
+  QueueSchedPolicy policy_;
+  bool started_ = false;
+
+  std::vector<IoRequest*> queue_;  // arrival order; policy picks an index
+  Event work_;
+  uint64_t head_position_ = 0;  // sector of the last dispatched request
+  int sweep_direction_ = 1;     // for SCAN/LOOK
+
+  Counter ops_;
+  Counter reads_;
+  Counter writes_;
+  Histogram queue_len_{0, 128, 128};
+  LatencyHistogram queue_wait_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_DRIVER_DISK_DRIVER_H_

@@ -1,0 +1,63 @@
+#include "driver/file_backed_driver.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pfs {
+
+Result<std::unique_ptr<FileBackedDriver>> FileBackedDriver::Create(
+    Scheduler* sched, std::string name, const std::string& path, uint64_t size_bytes,
+    IoExecutor* executor, QueueSchedPolicy policy) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status(ErrorCode::kIoError, "open " + path + ": " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size_bytes)) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kIoError, "ftruncate " + path + ": " + std::strerror(errno));
+  }
+  auto driver = std::unique_ptr<FileBackedDriver>(
+      new FileBackedDriver(sched, std::move(name), fd, size_bytes / 512, executor, policy));
+  return driver;
+}
+
+FileBackedDriver::~FileBackedDriver() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Task<> FileBackedDriver::Dispatch(IoRequest* req) {
+  Scheduler* s = sched();
+  s->BeginExternalOp();
+  executor_->Execute([this, s, req] {
+    const off_t offset = static_cast<off_t>(req->sector) * 512;
+    const size_t bytes = static_cast<size_t>(req->sector_count) * 512;
+    Status status;
+    if (req->op == IoOp::kRead) {
+      PFS_CHECK_MSG(req->read_buf.size() >= bytes, "read buffer too small");
+      const ssize_t n = ::pread(fd_, req->read_buf.data(), bytes, offset);
+      if (n != static_cast<ssize_t>(bytes)) {
+        status = Status(ErrorCode::kIoError, "short pread");
+      }
+    } else {
+      PFS_CHECK_MSG(req->write_buf.size() >= bytes, "write buffer too small");
+      const ssize_t n = ::pwrite(fd_, req->write_buf.data(), bytes, offset);
+      if (n != static_cast<ssize_t>(bytes)) {
+        status = Status(ErrorCode::kIoError, "short pwrite");
+      }
+    }
+    s->Post([s, req, status] {
+      req->result = status;
+      req->complete_time = s->Now();
+      req->done.Notify();
+      s->EndExternalOp();
+    });
+  });
+  co_await req->done.Wait();
+}
+
+}  // namespace pfs

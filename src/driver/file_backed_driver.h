@@ -1,0 +1,47 @@
+// The production disk-driver (paper §3): "uses a Unix-file (ordinary file,
+// or raw-device) as back-end" with the same combined read-write queue and
+// C-LOOK policy as the simulated driver. Blocking syscalls run on an
+// IoExecutor pool; completions return to the scheduler via Post().
+#ifndef PFS_DRIVER_FILE_BACKED_DRIVER_H_
+#define PFS_DRIVER_FILE_BACKED_DRIVER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/result.h"
+#include "driver/disk_driver.h"
+#include "driver/io_executor.h"
+
+namespace pfs {
+
+class FileBackedDriver final : public QueueingDiskDriver {
+ public:
+  // Opens (creating and sizing if needed) `path` as the backing store.
+  static Result<std::unique_ptr<FileBackedDriver>> Create(
+      Scheduler* sched, std::string name, const std::string& path, uint64_t size_bytes,
+      IoExecutor* executor, QueueSchedPolicy policy = QueueSchedPolicy::kClook);
+
+  ~FileBackedDriver() override;
+
+  uint64_t total_sectors() const override { return total_sectors_; }
+  uint32_t sector_bytes() const override { return 512; }
+
+ protected:
+  Task<> Dispatch(IoRequest* req) override;
+
+ private:
+  FileBackedDriver(Scheduler* sched, std::string name, int fd, uint64_t total_sectors,
+                   IoExecutor* executor, QueueSchedPolicy policy)
+      : QueueingDiskDriver(sched, std::move(name), policy),
+        fd_(fd),
+        total_sectors_(total_sectors),
+        executor_(executor) {}
+
+  int fd_;
+  uint64_t total_sectors_;
+  IoExecutor* executor_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_DRIVER_FILE_BACKED_DRIVER_H_

@@ -1,0 +1,40 @@
+// A small pool of OS threads for blocking system calls (pread/pwrite) made
+// on behalf of the on-line system, keeping the cooperative scheduler thread
+// responsive. Completions are delivered back via Scheduler::Post.
+#ifndef PFS_DRIVER_IO_EXECUTOR_H_
+#define PFS_DRIVER_IO_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfs {
+
+class IoExecutor {
+ public:
+  explicit IoExecutor(int num_threads = 2);
+  ~IoExecutor();
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  // Runs `fn` on a pool thread. `fn` is responsible for posting its
+  // completion back to the scheduler.
+  void Execute(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_DRIVER_IO_EXECUTOR_H_

@@ -1,0 +1,108 @@
+#include "fs/directory.h"
+
+#include <cstring>
+
+namespace pfs {
+
+Task<Status> Directory::OnFirstOpen() {
+  if (loaded_) {
+    co_return OkStatus();
+  }
+  loaded_ = true;
+  next_slot_ = static_cast<uint32_t>(CeilDiv(inode_.size, kRecordSize));
+  if (inode_.size == 0) {
+    co_return OkStatus();
+  }
+  // Real instantiation: parse the records. Simulator: file bytes do not
+  // exist; the read below still charges the I/O, and the zeroed buffer
+  // parses as empty (simulated trees are always built within the run, and
+  // file objects are never evicted, so the index is never lost).
+  std::vector<std::byte> buf(inode_.size);
+  PFS_CO_ASSIGN_OR_RETURN(const uint64_t got, co_await Read(0, inode_.size, buf));
+  for (uint32_t slot = 0; slot < got / kRecordSize; ++slot) {
+    const std::byte* rec = buf.data() + static_cast<size_t>(slot) * kRecordSize;
+    uint64_t ino = 0;
+    std::memcpy(&ino, rec, sizeof(ino));
+    if (ino == 0) {
+      free_slots_.push_back(slot);
+      continue;
+    }
+    const auto type = static_cast<FileType>(rec[8]);
+    const auto namelen = static_cast<uint8_t>(rec[9]);
+    if (namelen == 0 || namelen > kMaxNameLen) {
+      free_slots_.push_back(slot);  // tolerate damage; fsck territory
+      continue;
+    }
+    std::string name(reinterpret_cast<const char*>(rec + 10), namelen);
+    entries_[name] = Slot{ino, type, slot};
+  }
+  co_return OkStatus();
+}
+
+Task<Status> Directory::WriteRecord(uint32_t slot, const std::string& name, uint64_t ino,
+                                    FileType type) {
+  std::byte rec[kRecordSize] = {};
+  std::memcpy(rec, &ino, sizeof(ino));
+  rec[8] = static_cast<std::byte>(type);
+  rec[9] = static_cast<std::byte>(name.size());
+  std::memcpy(rec + 10, name.data(), name.size());
+  PFS_CO_ASSIGN_OR_RETURN(const uint64_t wrote,
+                          co_await Write(static_cast<uint64_t>(slot) * kRecordSize,
+                                         kRecordSize, std::span<const std::byte>(rec)));
+  PFS_CHECK(wrote == kRecordSize);
+  co_return OkStatus();
+}
+
+Task<Result<DirEntry>> Directory::Lookup(const std::string& name) {
+  PFS_CO_RETURN_IF_ERROR(co_await OnFirstOpen());
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    co_return Status(ErrorCode::kNotFound, "no entry " + name);
+  }
+  co_return DirEntry{name, it->second.ino, it->second.type};
+}
+
+Task<Status> Directory::Add(const std::string& name, uint64_t ino, FileType type) {
+  PFS_CO_RETURN_IF_ERROR(co_await OnFirstOpen());
+  if (name.empty() || name.size() > kMaxNameLen) {
+    co_return Status(ErrorCode::kNameTooLong, name);
+  }
+  if (entries_.contains(name)) {
+    co_return Status(ErrorCode::kExists, name);
+  }
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = next_slot_++;
+  }
+  PFS_CO_RETURN_IF_ERROR(co_await WriteRecord(slot, name, ino, type));
+  entries_[name] = Slot{ino, type, slot};
+  co_return OkStatus();
+}
+
+Task<Status> Directory::Remove(const std::string& name) {
+  PFS_CO_RETURN_IF_ERROR(co_await OnFirstOpen());
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    co_return Status(ErrorCode::kNotFound, name);
+  }
+  const uint32_t slot = it->second.slot;
+  PFS_CO_RETURN_IF_ERROR(co_await WriteRecord(slot, "", 0, FileType::kNone));
+  free_slots_.push_back(slot);
+  entries_.erase(it);
+  co_return OkStatus();
+}
+
+Task<Result<std::vector<DirEntry>>> Directory::List() {
+  PFS_CO_RETURN_IF_ERROR(co_await OnFirstOpen());
+  std::vector<DirEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, slot] : entries_) {
+    out.push_back(DirEntry{name, slot.ino, slot.type});
+  }
+  co_return out;
+}
+
+}  // namespace pfs

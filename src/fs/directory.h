@@ -1,0 +1,63 @@
+// Directory: a file whose contents are fixed-size 64-byte entry records
+// (ino, type, name), giving exactly 64 records per 4 KB block. Mutations
+// rewrite one record through the normal cached write path, so directory
+// traffic is charged like any other file I/O in both instantiations; the
+// in-memory name index is authoritative during operation and is rebuilt from
+// the records on first access in the real system.
+#ifndef PFS_FS_DIRECTORY_H_
+#define PFS_FS_DIRECTORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fs/file.h"
+
+namespace pfs {
+
+struct DirEntry {
+  std::string name;
+  uint64_t ino;
+  FileType type;
+};
+
+class Directory final : public File {
+ public:
+  static constexpr size_t kRecordSize = 64;
+  static constexpr size_t kMaxNameLen = kRecordSize - 10;  // u64 ino + u8 type + u8 len
+
+  using File::File;
+
+  // Rebuilds the in-memory index from the record file (real instantiation).
+  // The simulator starts from a freshly formatted tree, so there is nothing
+  // to load there.
+  Task<Status> OnFirstOpen() override;
+
+  Task<Result<DirEntry>> Lookup(const std::string& name);
+  Task<Status> Add(const std::string& name, uint64_t ino, FileType type);
+  Task<Status> Remove(const std::string& name);
+  Task<Result<std::vector<DirEntry>>> List();
+
+  bool IsEmpty() const { return entries_.empty(); }
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t ino;
+    FileType type;
+    uint32_t slot;  // record index within the file
+  };
+
+  // Writes record `slot` (or a tombstone) through the cached write path.
+  Task<Status> WriteRecord(uint32_t slot, const std::string& name, uint64_t ino,
+                           FileType type);
+
+  bool loaded_ = false;
+  std::map<std::string, Slot> entries_;
+  std::vector<uint32_t> free_slots_;
+  uint32_t next_slot_ = 0;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_FS_DIRECTORY_H_

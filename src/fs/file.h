@@ -1,0 +1,62 @@
+// Instantiated files (paper §2, "Files"): an instantiated file controls a
+// file loaded into the file-system cache — a memory copy of the inode,
+// references to cached data, and read/write/flush methods. Each file type is
+// a derived class; the front-end instantiates an object of the right type
+// when the file is first accessed.
+#ifndef PFS_FS_FILE_H_
+#define PFS_FS_FILE_H_
+
+#include <span>
+
+#include "fs/file_system.h"
+#include "layout/inode.h"
+
+namespace pfs {
+
+class File {
+ public:
+  File(FileSystem* fs, Inode inode) : fs_(fs), inode_(inode) {}
+  virtual ~File() = default;
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  uint64_t ino() const { return inode_.ino; }
+  FileType type() const { return inode_.type; }
+  uint64_t size() const { return inode_.size; }
+  const Inode& inode() const { return inode_; }
+
+  // Reads up to `len` bytes at `offset` through the cache; returns the byte
+  // count actually read (clamped at EOF). `out` may be empty (simulator).
+  virtual Task<Result<uint64_t>> Read(uint64_t offset, uint64_t len, std::span<std::byte> out);
+
+  // Writes `len` bytes at `offset` through the cache, extending the file.
+  // `in` may be empty (simulator); `len` governs behaviour.
+  virtual Task<Result<uint64_t>> Write(uint64_t offset, uint64_t len,
+                                       std::span<const std::byte> in);
+
+  virtual Task<Status> Truncate(uint64_t new_size);
+
+  // Writes back this file's dirty cache blocks and its inode.
+  virtual Task<Status> Flush();
+
+  // Lifecycle hooks driven by the file table (open count 0 -> 1 and 1 -> 0).
+  virtual Task<Status> OnFirstOpen() { co_return OkStatus(); }
+  virtual Task<Status> OnLastClose() { co_return OkStatus(); }
+
+ protected:
+  Task<Status> PersistInodeAttrs();  // push the in-memory inode to the layout
+
+  FileSystem* fs_;
+  Inode inode_;
+};
+
+// Ordinary data file.
+class RegularFile : public File {
+ public:
+  using File::File;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_FS_FILE_H_

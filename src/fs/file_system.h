@@ -1,0 +1,45 @@
+// FileSystem: binds one storage layout to the (server-wide) buffer cache and
+// data mover, and implements the cache's BlockIoHandler so cache fills and
+// flushes reach the right layout. One instance per mounted file system.
+#ifndef PFS_FS_FILE_SYSTEM_H_
+#define PFS_FS_FILE_SYSTEM_H_
+
+#include "cache/buffer_cache.h"
+#include "cache/data_mover.h"
+#include "layout/storage_layout.h"
+#include "sched/scheduler.h"
+
+namespace pfs {
+
+class FileSystem final : public BlockIoHandler {
+ public:
+  FileSystem(Scheduler* sched, StorageLayout* layout, BufferCache* cache, DataMover* mover)
+      : sched_(sched), layout_(layout), cache_(cache), mover_(mover) {
+    cache_->RegisterHandler(layout_->fs_id(), this);
+  }
+
+  // BlockIoHandler
+  Task<Status> FillBlock(const BlockId& id, CacheBlock* block) override {
+    co_return co_await layout_->ReadFileBlock(id.ino, id.block_no, block->data);
+  }
+  Task<Status> WriteBlocks(uint64_t ino, std::span<CacheBlock* const> blocks) override {
+    co_return co_await layout_->WriteFileBlocks(ino, blocks);
+  }
+
+  uint32_t fs_id() const { return layout_->fs_id(); }
+  uint32_t block_size() const { return layout_->block_size(); }
+  Scheduler* scheduler() { return sched_; }
+  StorageLayout* layout() { return layout_; }
+  BufferCache* cache() { return cache_; }
+  DataMover* mover() { return mover_; }
+
+ private:
+  Scheduler* sched_;
+  StorageLayout* layout_;
+  BufferCache* cache_;
+  DataMover* mover_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_FS_FILE_SYSTEM_H_

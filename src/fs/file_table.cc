@@ -1,0 +1,71 @@
+#include "fs/file_table.h"
+
+namespace pfs {
+
+std::unique_ptr<File> FileTable::Instantiate(FileSystem* fs, const Inode& inode) {
+  switch (inode.type) {
+    case FileType::kRegular:
+      return std::make_unique<RegularFile>(fs, inode);
+    case FileType::kDirectory:
+      return std::make_unique<Directory>(fs, inode);
+    case FileType::kSymlink:
+      return std::make_unique<Symlink>(fs, inode);
+    case FileType::kMultimedia:
+      return std::make_unique<MultimediaFile>(fs, inode);
+    case FileType::kNone:
+      break;
+  }
+  PFS_UNREACHABLE();
+}
+
+Task<Result<File*>> FileTable::Acquire(uint64_t ino) {
+  auto it = files_.find(ino);
+  if (it != files_.end()) {
+    Entry& entry = it->second;
+    if (entry.refs == 0) {
+      PFS_CO_RETURN_IF_ERROR(co_await entry.file->OnFirstOpen());
+    }
+    ++entry.refs;
+    co_return entry.file.get();
+  }
+  PFS_CO_ASSIGN_OR_RETURN(const Inode inode, co_await fs_->layout()->ReadInode(ino));
+  Entry entry;
+  entry.file = Instantiate(fs_, inode);
+  entry.refs = 1;
+  File* file = entry.file.get();
+  files_.emplace(ino, std::move(entry));
+  PFS_CO_RETURN_IF_ERROR(co_await file->OnFirstOpen());
+  co_return file;
+}
+
+Task<Status> FileTable::Release(uint64_t ino) {
+  auto it = files_.find(ino);
+  if (it == files_.end()) {
+    co_return Status(ErrorCode::kInvalidArgument, "Release of unknown file");
+  }
+  Entry& entry = it->second;
+  PFS_CHECK(entry.refs > 0);
+  --entry.refs;
+  if (entry.refs > 0) {
+    co_return OkStatus();
+  }
+  PFS_CO_RETURN_IF_ERROR(co_await entry.file->OnLastClose());
+  if (delete_pending_.erase(ino) > 0) {
+    fs_->cache()->InvalidateFile(fs_->fs_id(), ino);
+    PFS_CO_RETURN_IF_ERROR(co_await fs_->layout()->FreeInode(ino));
+    files_.erase(ino);
+  }
+  co_return OkStatus();
+}
+
+int FileTable::open_count(uint64_t ino) const {
+  auto it = files_.find(ino);
+  return it == files_.end() ? 0 : it->second.refs;
+}
+
+File* FileTable::Get(uint64_t ino) {
+  auto it = files_.find(ino);
+  return it == files_.end() ? nullptr : it->second.file.get();
+}
+
+}  // namespace pfs

@@ -1,0 +1,61 @@
+// FileTable: the global table of instantiated files (paper §2: the abstract
+// client interface "stores a reference to [the loaded file] in a global file
+// table"; "the front-end examines the file type ... and instantiates an
+// object of that type to manage the file while it is in core").
+//
+// Acquire() loads the inode and constructs the type-specific File object on
+// first use; file objects stay instantiated for the life of the server (the
+// cache, not the table, manages memory pressure on data).
+#ifndef PFS_FS_FILE_TABLE_H_
+#define PFS_FS_FILE_TABLE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fs/directory.h"
+#include "fs/file.h"
+#include "fs/multimedia_file.h"
+#include "fs/symlink.h"
+
+namespace pfs {
+
+class FileTable {
+ public:
+  explicit FileTable(FileSystem* fs) : fs_(fs) {}
+
+  // Returns the instantiated file, constructing it (and firing OnFirstOpen)
+  // if this is the first reference. Every Acquire pairs with one Release.
+  Task<Result<File*>> Acquire(uint64_t ino);
+
+  // Drops one reference; fires OnLastClose at zero. If the file was marked
+  // for deletion (unlink while open), completes the deletion.
+  Task<Status> Release(uint64_t ino);
+
+  // Marks an open file to be freed on last close (Unix unlink semantics).
+  void MarkDeletePending(uint64_t ino) { delete_pending_.insert(ino); }
+
+  // Open-reference count (0 if not instantiated).
+  int open_count(uint64_t ino) const;
+
+  size_t instantiated_count() const { return files_.size(); }
+
+  // Direct access for callers that already hold a reference.
+  File* Get(uint64_t ino);
+
+ private:
+  struct Entry {
+    std::unique_ptr<File> file;
+    int refs = 0;
+  };
+
+  static std::unique_ptr<File> Instantiate(FileSystem* fs, const Inode& inode);
+
+  FileSystem* fs_;
+  std::unordered_map<uint64_t, Entry> files_;
+  std::unordered_set<uint64_t> delete_pending_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_FS_FILE_TABLE_H_

@@ -1,0 +1,54 @@
+#include "fs/multimedia_file.h"
+
+#include <algorithm>
+
+namespace pfs {
+
+Task<Status> MultimediaFile::OnFirstOpen() {
+  // Stream data must not age out everything else.
+  fs_->cache()->SetFileHint(fs_->fs_id(), inode_.ino, FileCacheHint::kEvictFirst);
+  active_ = true;
+  stream_pos_ = 0;
+  prefetch_next_ = 0;
+  fs_->scheduler()->SpawnDaemon("mm.preload." + std::to_string(inode_.ino), Preloader());
+  co_return OkStatus();
+}
+
+Task<Status> MultimediaFile::OnLastClose() {
+  active_ = false;  // the pre-loader observes this and exits
+  fs_->cache()->SetFileHint(fs_->fs_id(), inode_.ino, FileCacheHint::kNormal);
+  co_return OkStatus();
+}
+
+Task<Result<uint64_t>> MultimediaFile::Read(uint64_t offset, uint64_t len,
+                                            std::span<std::byte> out) {
+  stream_pos_ = offset + len;
+  co_return co_await File::Read(offset, len, out);
+}
+
+Task<> MultimediaFile::Preloader() {
+  const uint32_t bs = fs_->block_size();
+  // Pace: time for one block's worth of stream data.
+  const Duration per_block = Duration::Nanos(
+      static_cast<int64_t>(static_cast<uint64_t>(bs) * 1000000000ULL /
+                           std::max<uint64_t>(qos_.bit_rate_bytes_per_sec, 1)));
+  while (active_) {
+    const uint64_t consumer_block = stream_pos_ / bs;
+    const uint64_t horizon = consumer_block + qos_.prefetch_blocks;
+    const uint64_t file_blocks = CeilDiv(inode_.size, bs);
+    prefetch_next_ = std::max(prefetch_next_, consumer_block);
+    if (prefetch_next_ < std::min(horizon, file_blocks)) {
+      auto block_or = co_await fs_->cache()->GetBlock(
+          BlockId{fs_->fs_id(), inode_.ino, prefetch_next_}, GetMode::kRead);
+      if (block_or.ok()) {
+        fs_->cache()->Release(*block_or);
+        ++prefetched_;
+      }
+      ++prefetch_next_;
+      continue;  // fill the window without pacing delay
+    }
+    co_await fs_->scheduler()->Sleep(per_block);
+  }
+}
+
+}  // namespace pfs

@@ -1,0 +1,49 @@
+// Multimedia file: the paper's "active" file type (§2). On first open it
+// spawns its own thread of control inside the file system, which pre-loads
+// data ahead of the consumer at the stream's bit rate, and it switches its
+// cache blocks to evict-first so a stream cannot flood the cache ("If
+// ordinary cache policies are used on a multi-media file the whole cache
+// would fill up with this data").
+#ifndef PFS_FS_MULTIMEDIA_FILE_H_
+#define PFS_FS_MULTIMEDIA_FILE_H_
+
+#include "fs/file.h"
+#include "sched/event.h"
+
+namespace pfs {
+
+class MultimediaFile final : public File {
+ public:
+  struct QosParams {
+    uint64_t bit_rate_bytes_per_sec = 1500 * 1000 / 8;  // MPEG-1-ish
+    uint32_t prefetch_blocks = 4;                       // read-ahead window
+  };
+
+  MultimediaFile(FileSystem* fs, Inode inode) : File(fs, inode) {}
+
+  void set_qos(QosParams qos) { qos_ = qos; }
+  const QosParams& qos() const { return qos_; }
+
+  Task<Status> OnFirstOpen() override;
+  Task<Status> OnLastClose() override;
+
+  // Reads advance the stream position the pre-loader works from.
+  Task<Result<uint64_t>> Read(uint64_t offset, uint64_t len,
+                              std::span<std::byte> out) override;
+
+  uint64_t prefetched_blocks() const { return prefetched_; }
+  bool active() const { return active_; }
+
+ private:
+  Task<> Preloader();
+
+  QosParams qos_;
+  bool active_ = false;
+  uint64_t stream_pos_ = 0;       // consumer's position (bytes)
+  uint64_t prefetch_next_ = 0;    // next block index to pre-load
+  uint64_t prefetched_ = 0;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_FS_MULTIMEDIA_FILE_H_

@@ -1,0 +1,36 @@
+#include "fs/symlink.h"
+
+namespace pfs {
+
+Task<Status> Symlink::SetTarget(const std::string& target) {
+  if (target.size() + 2 > fs_->block_size()) {
+    co_return Status(ErrorCode::kNameTooLong, "symlink target too long");
+  }
+  std::vector<std::byte> buf;
+  Serializer s(&buf);
+  s.PutString(target);
+  PFS_CO_RETURN_IF_ERROR(co_await Truncate(0));
+  PFS_CO_ASSIGN_OR_RETURN(const uint64_t wrote, co_await Write(0, buf.size(), buf));
+  PFS_CHECK(wrote == buf.size());
+  cached_target_ = target;
+  target_loaded_ = true;
+  co_return OkStatus();
+}
+
+Task<Result<std::string>> Symlink::ReadTarget() {
+  if (target_loaded_) {
+    // Charge the read, answer from the instantiated file (simulator path).
+    auto charged = co_await Read(0, inode_.size, {});
+    PFS_CO_RETURN_IF_ERROR(charged.status());
+    co_return cached_target_;
+  }
+  std::vector<std::byte> buf(inode_.size);
+  auto read = co_await Read(0, inode_.size, buf);
+  PFS_CO_RETURN_IF_ERROR(read.status());
+  Deserializer d(buf);
+  PFS_CO_ASSIGN_OR_RETURN(cached_target_, d.TakeString());
+  target_loaded_ = true;
+  co_return cached_target_;
+}
+
+}  // namespace pfs

@@ -1,0 +1,25 @@
+// Symbolic link: the target path is the file's single-block content.
+#ifndef PFS_FS_SYMLINK_H_
+#define PFS_FS_SYMLINK_H_
+
+#include <string>
+
+#include "fs/file.h"
+
+namespace pfs {
+
+class Symlink final : public File {
+ public:
+  using File::File;
+
+  Task<Status> SetTarget(const std::string& target);
+  Task<Result<std::string>> ReadTarget();
+
+ private:
+  std::string cached_target_;  // authoritative in the simulator
+  bool target_loaded_ = false;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_FS_SYMLINK_H_

@@ -1,0 +1,58 @@
+#include "layout/block_map.h"
+
+namespace pfs {
+
+std::vector<uint64_t> BlockMap::TruncateFrom(uint64_t from_block) {
+  std::vector<uint64_t> freed;
+  for (size_t chunk = ChunkOf(from_block); chunk < chunks_.size(); ++chunk) {
+    if (chunks_[chunk].entries.empty()) {
+      continue;
+    }
+    const uint64_t chunk_base = chunk * entries_per_chunk_;
+    for (uint64_t i = 0; i < entries_per_chunk_; ++i) {
+      if (chunk_base + i < from_block) {
+        continue;
+      }
+      uint64_t& slot = chunks_[chunk].entries[i];
+      if (slot != kNullAddr) {
+        freed.push_back(slot);
+        slot = kNullAddr;
+        chunks_[chunk].dirty = true;
+      }
+    }
+  }
+  return freed;
+}
+
+void BlockMap::SerializeChunk(size_t chunk, Serializer* out) const {
+  PFS_CHECK(ChunkLoaded(chunk));
+  for (uint64_t addr : chunks_[chunk].entries) {
+    out->PutU64(addr);
+  }
+}
+
+Status BlockMap::DeserializeChunk(size_t chunk, Deserializer* in) {
+  if (chunk >= chunks_.size()) {
+    chunks_.resize(chunk + 1);
+  }
+  chunks_[chunk].entries.assign(entries_per_chunk_, kNullAddr);
+  for (uint64_t i = 0; i < entries_per_chunk_; ++i) {
+    PFS_ASSIGN_OR_RETURN(chunks_[chunk].entries[i], in->TakeU64());
+  }
+  chunks_[chunk].dirty = false;
+  return OkStatus();
+}
+
+std::vector<uint64_t> BlockMap::AllAddresses() const {
+  std::vector<uint64_t> out;
+  for (const Chunk& chunk : chunks_) {
+    for (uint64_t addr : chunk.entries) {
+      if (addr != kNullAddr) {
+        out.push_back(addr);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pfs

@@ -1,0 +1,57 @@
+#include "layout/cleaner.h"
+
+#include "core/check.h"
+
+namespace pfs {
+
+int64_t GreedyCleanerPolicy::PickSegment(std::span<const SegmentInfo> segments,
+                                         uint32_t usable_blocks, uint64_t now_seq) const {
+  (void)usable_blocks;
+  (void)now_seq;
+  int64_t best = -1;
+  uint32_t best_live = UINT32_MAX;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].state != SegmentState::kFull) {
+      continue;
+    }
+    if (segments[i].live_blocks < best_live) {
+      best_live = segments[i].live_blocks;
+      best = static_cast<int64_t>(i);
+    }
+  }
+  return best;
+}
+
+int64_t CostBenefitCleanerPolicy::PickSegment(std::span<const SegmentInfo> segments,
+                                              uint32_t usable_blocks, uint64_t now_seq) const {
+  int64_t best = -1;
+  double best_score = -1.0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const SegmentInfo& seg = segments[i];
+    if (seg.state != SegmentState::kFull) {
+      continue;
+    }
+    const double u =
+        static_cast<double>(seg.live_blocks) / static_cast<double>(usable_blocks);
+    const double age = static_cast<double>(now_seq - seg.write_seq) + 1.0;
+    const double score = (1.0 - u) * age / (1.0 + u);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int64_t>(i);
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<CleanerPolicy> MakeCleanerPolicy(const std::string& name) {
+  if (name == "greedy") {
+    return std::make_unique<GreedyCleanerPolicy>();
+  }
+  if (name == "cost-benefit") {
+    return std::make_unique<CostBenefitCleanerPolicy>();
+  }
+  PFS_CHECK_MSG(false, "unknown cleaner policy");
+  return nullptr;
+}
+
+}  // namespace pfs

@@ -1,0 +1,56 @@
+// Log-cleaner policies for the segmented LFS (paper §2: "The log-cleaner can
+// be replaced and is plugged into the LFS component when the system starts").
+#ifndef PFS_LAYOUT_CLEANER_H_
+#define PFS_LAYOUT_CLEANER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace pfs {
+
+enum class SegmentState : uint8_t { kFree, kActive, kFull };
+
+struct SegmentInfo {
+  SegmentState state = SegmentState::kFree;
+  uint32_t live_blocks = 0;
+  uint64_t write_seq = 0;  // monotone counter at last write; age proxy
+};
+
+class CleanerPolicy {
+ public:
+  virtual ~CleanerPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // Index of the kFull segment to clean next, or -1 if none qualifies.
+  // `usable_blocks` is the data capacity of one segment; `now_seq` the
+  // current write sequence for age computation.
+  virtual int64_t PickSegment(std::span<const SegmentInfo> segments, uint32_t usable_blocks,
+                              uint64_t now_seq) const = 0;
+};
+
+// Cleans the emptiest segment: cheap, but keeps re-cleaning hot segments
+// under skewed writes.
+class GreedyCleanerPolicy final : public CleanerPolicy {
+ public:
+  const char* name() const override { return "greedy"; }
+  int64_t PickSegment(std::span<const SegmentInfo> segments, uint32_t usable_blocks,
+                      uint64_t now_seq) const override;
+};
+
+// Rosenblum's cost-benefit: maximize (1-u)*age/(1+u); prefers cleaning cold
+// segments even at moderate utilization.
+class CostBenefitCleanerPolicy final : public CleanerPolicy {
+ public:
+  const char* name() const override { return "cost-benefit"; }
+  int64_t PickSegment(std::span<const SegmentInfo> segments, uint32_t usable_blocks,
+                      uint64_t now_seq) const override;
+};
+
+std::unique_ptr<CleanerPolicy> MakeCleanerPolicy(const std::string& name);
+
+}  // namespace pfs
+
+#endif  // PFS_LAYOUT_CLEANER_H_

@@ -1,0 +1,119 @@
+// FFS-lite: an update-in-place cylinder-group layout, the second concrete
+// storage layout (paper §2: "To implement other storage-layouts (such as a
+// Unix FFS ...) a new derived storage-layout class needs to be written").
+// It shares the inode/block-map machinery with the LFS, differing in
+// allocation: bitmapped blocks and a fixed inode table per group, data
+// written back in place.
+//
+// On-disk format (blocks within the partition):
+//   0                         superblock
+//   per group g at G(g):      inode bitmap | block bitmap | inode table | data
+//
+// Bitmaps and inode tables are held in memory and written back on Sync or
+// Unmount (crash consistency is out of scope, as in the paper's PFS).
+#ifndef PFS_LAYOUT_FFS_LAYOUT_H_
+#define PFS_LAYOUT_FFS_LAYOUT_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "layout/block_map.h"
+#include "layout/storage_layout.h"
+#include "sched/scheduler.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+
+namespace pfs {
+
+struct FfsConfig {
+  uint32_t fs_id = 0;
+  uint32_t block_size = kDefaultBlockSize;
+  uint32_t blocks_per_group = 2048;  // 8 MiB groups with 4 KB blocks
+  uint32_t inodes_per_group = 256;
+  bool materialize_metadata = false;
+};
+
+class FfsLayout final : public StorageLayout, public StatSource {
+ public:
+  FfsLayout(Scheduler* sched, BlockDev dev, FfsConfig config);
+
+  const char* layout_name() const override { return "ffs"; }
+  uint32_t fs_id() const override { return config_.fs_id; }
+  uint32_t block_size() const override { return config_.block_size; }
+  Task<Status> Format() override;
+  Task<Status> Mount() override;
+  Task<Status> Unmount() override;
+  Task<Status> Sync() override;
+  uint64_t root_ino() const override { return root_ino_; }
+  Task<Result<uint64_t>> AllocInode(FileType type) override;
+  Task<Result<Inode>> ReadInode(uint64_t ino) override;
+  Task<Status> WriteInode(const Inode& inode) override;
+  Task<Status> FreeInode(uint64_t ino) override;
+  Task<Status> ReadFileBlock(uint64_t ino, uint64_t file_block,
+                             std::span<std::byte> out) override;
+  Task<Status> WriteFileBlocks(uint64_t ino, std::span<CacheBlock* const> blocks) override;
+  Task<Status> TruncateBlocks(uint64_t ino, uint64_t from_block) override;
+  uint64_t TotalBlocks() const override { return dev_.nblocks(); }
+  uint64_t FreeBlocksEstimate() const override { return free_blocks_; }
+
+  // StatSource
+  std::string stat_name() const override { return "ffs.fs" + std::to_string(config_.fs_id); }
+  std::string StatReport(bool with_histograms) const override;
+
+  uint32_t group_count() const { return ngroups_; }
+  uint64_t blocks_written() const { return blocks_written_.value(); }
+
+ private:
+  struct Group {
+    std::vector<bool> inode_used;
+    std::vector<bool> block_used;  // data-area blocks only
+    bool dirty = false;            // bitmap needs write-back
+  };
+
+  uint32_t GroupOfIno(uint64_t ino) const {
+    return static_cast<uint32_t>((ino - 1) / config_.inodes_per_group);
+  }
+  uint64_t GroupBase(uint32_t group) const {
+    return 1 + static_cast<uint64_t>(group) * config_.blocks_per_group;
+  }
+  uint64_t DataBase(uint32_t group) const { return GroupBase(group) + 2 + itable_blocks_; }
+  uint32_t DataBlocksPerGroup() const { return config_.blocks_per_group - 2 - itable_blocks_; }
+  uint64_t InodeTableBlock(uint64_t ino) const;
+
+  Result<uint64_t> AllocDataBlock(uint32_t preferred_group);
+  Task<Status> WriteFileBlocksImpl(uint64_t ino, std::span<CacheBlock* const> blocks);
+  Task<Status> FreeInodeNow(uint64_t ino);
+  Task<Status> EndInoWrite(uint64_t ino);
+  void FreeDataBlock(uint64_t addr);
+  Task<Status> LoadBmapChunk(uint64_t ino, BlockMap* bmap, size_t chunk);
+  Task<Result<Inode*>> GetInode(uint64_t ino);
+  Task<Status> PersistInode(uint64_t ino);
+  Task<Status> PersistDirtyChunks(uint64_t ino);
+
+  Scheduler* sched_;
+  BlockDev dev_;
+  FfsConfig config_;
+  uint32_t ngroups_ = 0;
+  uint32_t itable_blocks_ = 0;
+  uint32_t inodes_per_block_ = 0;
+  uint64_t free_blocks_ = 0;
+  uint64_t root_ino_ = 0;
+  uint32_t next_group_hint_ = 0;
+  bool mounted_ = false;
+
+  std::vector<Group> groups_;
+  std::unordered_map<uint64_t, Inode> inode_cache_;
+  std::unordered_map<uint64_t, BlockMap> bmap_cache_;
+  std::unordered_map<uint64_t, int> busy_inos_;
+  std::unordered_set<uint64_t> free_pending_;
+
+  Counter blocks_written_;
+  Counter blocks_read_;
+  Counter inode_writes_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_LAYOUT_FFS_LAYOUT_H_

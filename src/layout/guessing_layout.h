@@ -1,0 +1,88 @@
+// GuessingLayout: the storage layout "instantiated for a simulator" (paper
+// §2): "all information that would have been read or written to disk is
+// simulated by making educated guesses. If a file is accessed that is not
+// yet known by the storage-layout module, it picks a random location on
+// disk. Once an initial location has been chosen for a file, the simulator
+// sticks to those addresses."
+//
+// Patsy uses this mode for pure trace replay where the initial on-disk state
+// is unknown: files get a random, then-stable, contiguous placement; inode
+// reads charge one metadata I/O at a guessed location.
+#ifndef PFS_LAYOUT_GUESSING_LAYOUT_H_
+#define PFS_LAYOUT_GUESSING_LAYOUT_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "core/random.h"
+#include "layout/storage_layout.h"
+#include "sched/scheduler.h"
+
+namespace pfs {
+
+struct GuessingConfig {
+  uint32_t fs_id = 0;
+  uint32_t block_size = kDefaultBlockSize;
+  uint64_t seed = 1;
+};
+
+class GuessingLayout final : public StorageLayout {
+ public:
+  GuessingLayout(Scheduler* sched, BlockDev dev, GuessingConfig config)
+      : sched_(sched), dev_(std::move(dev)), config_(config), rng_(config.seed) {}
+
+  const char* layout_name() const override { return "guessing"; }
+  uint32_t fs_id() const override { return config_.fs_id; }
+  uint32_t block_size() const override { return config_.block_size; }
+
+  Task<Status> Format() override {
+    mounted_ = true;
+    auto root_or = co_await AllocInode(FileType::kDirectory);
+    PFS_CO_RETURN_IF_ERROR(root_or.status());
+    root_ino_ = *root_or;
+    co_return OkStatus();
+  }
+  Task<Status> Mount() override {
+    mounted_ = true;
+    co_return OkStatus();
+  }
+  Task<Status> Unmount() override {
+    mounted_ = false;
+    co_return OkStatus();
+  }
+  Task<Status> Sync() override { co_return OkStatus(); }
+
+  uint64_t root_ino() const override { return root_ino_; }
+
+  Task<Result<uint64_t>> AllocInode(FileType type) override;
+  Task<Result<Inode>> ReadInode(uint64_t ino) override;
+  Task<Status> WriteInode(const Inode& inode) override;
+  Task<Status> FreeInode(uint64_t ino) override;
+  Task<Status> ReadFileBlock(uint64_t ino, uint64_t file_block,
+                             std::span<std::byte> out) override;
+  Task<Status> WriteFileBlocks(uint64_t ino, std::span<CacheBlock* const> blocks) override;
+  Task<Status> TruncateBlocks(uint64_t ino, uint64_t from_block) override;
+
+  uint64_t TotalBlocks() const override { return dev_.nblocks(); }
+  uint64_t FreeBlocksEstimate() const override { return dev_.nblocks(); }
+
+ private:
+  // The sticky random placement decision for a file.
+  uint64_t GuessBase(uint64_t ino);
+  uint64_t AddrOf(uint64_t ino, uint64_t file_block);
+
+  Scheduler* sched_;
+  BlockDev dev_;
+  GuessingConfig config_;
+  Rng rng_;
+  bool mounted_ = false;
+  uint64_t root_ino_ = 0;
+  uint64_t next_ino_ = 1;
+  std::unordered_map<uint64_t, uint64_t> base_addr_;     // ino -> first block
+  std::unordered_map<uint64_t, Inode> inodes_;
+  std::unordered_map<uint64_t, bool> inode_charged_;     // first metadata read done
+};
+
+}  // namespace pfs
+
+#endif  // PFS_LAYOUT_GUESSING_LAYOUT_H_

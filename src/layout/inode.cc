@@ -1,0 +1,59 @@
+#include "layout/inode.h"
+
+namespace pfs {
+
+const char* FileTypeName(FileType t) {
+  switch (t) {
+    case FileType::kNone:
+      return "none";
+    case FileType::kRegular:
+      return "regular";
+    case FileType::kDirectory:
+      return "directory";
+    case FileType::kSymlink:
+      return "symlink";
+    case FileType::kMultimedia:
+      return "multimedia";
+  }
+  return "?";
+}
+
+void Inode::Serialize(Serializer* out) const {
+  const size_t start = out->size();
+  out->PutU64(ino);
+  out->PutU8(static_cast<uint8_t>(type));
+  out->PutU32(nlink);
+  out->PutU64(size);
+  out->PutI64(mtime_ns);
+  out->PutU32(flags);
+  for (uint64_t addr : bmap) {
+    out->PutU64(addr);
+  }
+  // Pad to the fixed on-disk size.
+  while (out->size() - start < kDiskSize) {
+    out->PutU8(0);
+  }
+  PFS_CHECK(out->size() - start == kDiskSize);
+}
+
+Result<Inode> Inode::Deserialize(Deserializer* in) {
+  Inode inode;
+  PFS_ASSIGN_OR_RETURN(inode.ino, in->TakeU64());
+  PFS_ASSIGN_OR_RETURN(uint8_t type, in->TakeU8());
+  if (type > static_cast<uint8_t>(FileType::kMultimedia)) {
+    return Status(ErrorCode::kCorrupt, "bad inode type");
+  }
+  inode.type = static_cast<FileType>(type);
+  PFS_ASSIGN_OR_RETURN(inode.nlink, in->TakeU32());
+  PFS_ASSIGN_OR_RETURN(inode.size, in->TakeU64());
+  PFS_ASSIGN_OR_RETURN(inode.mtime_ns, in->TakeI64());
+  PFS_ASSIGN_OR_RETURN(inode.flags, in->TakeU32());
+  for (auto& addr : inode.bmap) {
+    PFS_ASSIGN_OR_RETURN(addr, in->TakeU64());
+  }
+  constexpr size_t kUsed = 8 + 1 + 4 + 8 + 8 + 4 + 12 * 8;
+  PFS_RETURN_IF_ERROR(in->Skip(kDiskSize - kUsed));
+  return inode;
+}
+
+}  // namespace pfs

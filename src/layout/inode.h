@@ -1,0 +1,46 @@
+// On-disk inode. Fixed 128-byte encoding; 25 inodes pack into a 4 KB block.
+//
+// Block pointers are indirected through block-map chunks (block_map.h): the
+// inode holds the addresses of up to 12 chunk blocks, each mapping 512 file
+// blocks, for a 24 MiB maximum file size with 4 KB blocks — ample for the
+// trace workloads and uniform across all layouts.
+#ifndef PFS_LAYOUT_INODE_H_
+#define PFS_LAYOUT_INODE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "core/result.h"
+#include "core/serializer.h"
+#include "layout/types.h"
+#include "sched/time.h"
+
+namespace pfs {
+
+struct Inode {
+  static constexpr size_t kDiskSize = 160;  // bytes on disk (129 used + growth room)
+  static constexpr size_t kBmapChunks = 12;
+
+  uint64_t ino = 0;
+  FileType type = FileType::kNone;
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+  int64_t mtime_ns = 0;
+  uint32_t flags = 0;
+  std::array<uint64_t, kBmapChunks> bmap = {};  // block-map chunk addresses
+
+  bool allocated() const { return type != FileType::kNone; }
+
+  void Serialize(Serializer* out) const;
+  static Result<Inode> Deserialize(Deserializer* in);
+
+  // Maximum file size representable given a block size.
+  static uint64_t MaxFileSize(uint32_t block_size) {
+    const uint64_t entries_per_chunk = block_size / 8;
+    return kBmapChunks * entries_per_chunk * block_size;
+  }
+};
+
+}  // namespace pfs
+
+#endif  // PFS_LAYOUT_INODE_H_

@@ -1,0 +1,201 @@
+// Segmented log-structured layout (paper §2: "Currently, we have implemented
+// a segmented LFS. This system stores file-system updates to the end of the
+// log, and is able to find files through an IFILE. The log-cleaner can be
+// replaced and is plugged into the LFS component when the system starts").
+//
+// On-disk format (all units are file-system blocks within the partition):
+//   0                      superblock
+//   1 .. 1+C               checkpoint region A   (C blocks)
+//   1+C .. 1+2C            checkpoint region B
+//   S .. S+N*SEG           N segments of SEG blocks; the last block of each
+//                          segment is its summary block
+//
+// The checkpoint (the IFILE) holds the inode map (ino -> log address of the
+// inode's block), the segment usage table, and the log frontier; regions A/B
+// alternate with a sequence number, so mount recovers the newer valid one.
+//
+// The simulator instantiation keeps all metadata in memory and issues the
+// same I/O with empty buffers — helper components account for the time data
+// movement would take (paper §2).
+#ifndef PFS_LAYOUT_LFS_LAYOUT_H_
+#define PFS_LAYOUT_LFS_LAYOUT_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "layout/block_map.h"
+#include "layout/cleaner.h"
+#include "layout/storage_layout.h"
+#include "sched/scheduler.h"
+#include "sched/sync.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+
+namespace pfs {
+
+struct LfsConfig {
+  uint32_t fs_id = 0;
+  uint32_t block_size = kDefaultBlockSize;
+  uint32_t segment_blocks = 128;  // 512 KiB segments
+  uint32_t max_inodes = 16384;
+  // Cleaner watermarks, in free segments.
+  uint32_t cleaner_low = 6;
+  uint32_t cleaner_high = 12;
+  bool enable_cleaner = true;
+  // Segments the log may never consume, so the cleaner always has room to
+  // relocate live data.
+  uint32_t reserved_segments = 2;
+  // Real instantiation: metadata is serialized to the device and read back.
+  // Simulator: metadata stays in memory; I/O carries empty buffers.
+  bool materialize_metadata = false;
+};
+
+class LfsLayout final : public StorageLayout, public StatSource {
+ public:
+  LfsLayout(Scheduler* sched, BlockDev dev, LfsConfig config,
+            std::unique_ptr<CleanerPolicy> cleaner_policy);
+  ~LfsLayout() override;
+
+  // StorageLayout
+  const char* layout_name() const override { return "lfs"; }
+  uint32_t fs_id() const override { return config_.fs_id; }
+  uint32_t block_size() const override { return config_.block_size; }
+  Task<Status> Format() override;
+  Task<Status> Mount() override;
+  Task<Status> Unmount() override;
+  Task<Status> Sync() override;
+  uint64_t root_ino() const override { return root_ino_; }
+  Task<Result<uint64_t>> AllocInode(FileType type) override;
+  Task<Result<Inode>> ReadInode(uint64_t ino) override;
+  Task<Status> WriteInode(const Inode& inode) override;
+  // Frees immediately, or defers until in-flight writes for `ino` complete
+  // (an unlinked file may still be mid-flush; see busy_inos_).
+  Task<Status> FreeInode(uint64_t ino) override;
+  Task<Status> ReadFileBlock(uint64_t ino, uint64_t file_block,
+                             std::span<std::byte> out) override;
+  Task<Status> WriteFileBlocks(uint64_t ino, std::span<CacheBlock* const> blocks) override;
+  Task<Status> TruncateBlocks(uint64_t ino, uint64_t from_block) override;
+  uint64_t TotalBlocks() const override { return dev_.nblocks(); }
+  uint64_t FreeBlocksEstimate() const override;
+
+  // Spawns the cleaner daemon (after Format/Mount, if enabled).
+  void Start();
+
+  // StatSource
+  std::string stat_name() const override;
+  std::string StatReport(bool with_histograms) const override;
+
+  // Introspection for tests/benches.
+  uint32_t free_segments() const;
+  uint64_t log_blocks_written() const { return log_blocks_written_.value(); }
+  uint64_t segments_cleaned() const { return segments_cleaned_.value(); }
+  uint64_t blocks_relocated() const { return blocks_relocated_.value(); }
+  const CleanerPolicy& cleaner_policy() const { return *cleaner_policy_; }
+  // Write cost: log blocks written (incl. relocation) per data block written.
+  double WriteCost() const;
+
+ private:
+  enum class LogKind : uint8_t { kData = 1, kBmapChunk = 2, kInode = 3 };
+
+  struct SummaryEntry {
+    LogKind kind;
+    uint64_t ino;
+    uint64_t aux;  // file block (kData) or chunk index (kBmapChunk)
+  };
+
+  struct LogItem {
+    LogKind kind;
+    uint64_t ino;
+    uint64_t aux;
+    std::span<const std::byte> data;  // empty in the simulator
+  };
+
+  struct Geometry {
+    uint64_t checkpoint_blocks;
+    uint64_t first_segment_block;
+    uint32_t nsegments;
+    uint32_t usable_blocks;  // per segment (minus summary)
+  };
+
+  // -- log machinery --
+  Task<Result<std::vector<uint64_t>>> AppendItems(std::span<const LogItem> items,
+                                                  bool for_cleaner);
+  Task<Status> CloseCurrentSegment();
+  Result<uint32_t> FindFreeSegment();
+  void DecLive(uint64_t addr);
+  uint64_t SegmentOf(uint64_t addr) const;
+
+  // -- metadata helpers --
+  Task<Result<Inode*>> GetInode(uint64_t ino);
+  Task<Result<BlockMap*>> GetBmap(uint64_t ino);
+  Task<Status> EnsureChunkLoaded(uint64_t ino, BlockMap* bmap, size_t chunk);
+  // Appends dirty bmap chunks + the inode for `ino` to the log.
+  Task<Status> PersistFileMetadata(uint64_t ino, bool for_cleaner);
+  Task<Status> PersistFileMetadataGuarded(uint64_t ino, bool for_cleaner);
+  Task<Status> WriteFileBlocksImpl(uint64_t ino, std::span<CacheBlock* const> blocks);
+  Task<Status> FreeInodeNow(uint64_t ino);
+  // In-flight write tracking: raw Inode*/BlockMap* pointers live across
+  // suspension points inside the write paths, so the maps they point into
+  // must not lose those entries until the writes retire.
+  void BeginInoWrite(uint64_t ino) { ++busy_inos_[ino]; }
+  Task<Status> EndInoWrite(uint64_t ino);
+
+  // -- checkpoint --
+  Task<Status> WriteCheckpoint();
+  Task<Status> ReadCheckpoint();
+  std::vector<std::byte> SerializeCheckpoint() const;
+  Status DeserializeCheckpoint(std::span<const std::byte> bytes);
+
+  // -- cleaner --
+  Task<> CleanerLoop();
+  Task<Status> CleanSegment(uint32_t seg);
+  Task<Status> LoadSummaryIfNeeded(uint32_t seg);
+  Task<bool> IsLive(const SummaryEntry& entry, uint64_t addr);
+
+  Scheduler* sched_;
+  BlockDev dev_;
+  LfsConfig config_;
+  std::unique_ptr<CleanerPolicy> cleaner_policy_;
+  Geometry geo_{};
+  bool mounted_ = false;
+  bool cleaner_started_ = false;
+
+  // IFILE state.
+  std::vector<uint64_t> imap_;  // ino -> inode log address (kNullAddr = free)
+  std::vector<SegmentInfo> segments_;
+  std::vector<std::vector<SummaryEntry>> summaries_;  // per segment, in memory
+  std::unordered_set<uint32_t> summary_loaded_;
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t root_ino_ = 0;
+  uint64_t next_ino_hint_ = 1;
+
+  // Log frontier.
+  uint32_t cur_seg_ = 0;
+  uint32_t cur_off_ = 0;
+  uint64_t write_seq_ = 0;
+  Mutex log_mutex_;
+  Event segments_freed_;   // cleaner -> blocked writers
+  Event cleaner_wakeup_;
+
+  // In-memory caches (complete in simulator mode; write-through in real mode).
+  std::unordered_map<uint64_t, Inode> inode_cache_;
+  std::unordered_map<uint64_t, BlockMap> bmap_cache_;
+  std::unordered_map<uint64_t, int> busy_inos_;     // in-flight write counts
+  std::unordered_set<uint64_t> free_pending_;       // unlinked while busy
+
+  // Stats.
+  Counter log_blocks_written_;
+  Counter data_blocks_written_;
+  Counter segments_cleaned_;
+  Counter blocks_relocated_;
+  Counter cleaner_reads_;
+  Histogram cleaned_utilization_{0, 1.0, 20};
+};
+
+}  // namespace pfs
+
+#endif  // PFS_LAYOUT_LFS_LAYOUT_H_

@@ -1,0 +1,83 @@
+// Shared storage-layout types: file types, disk addressing, and the
+// block-addressed device adapter over a (sector-addressed) disk driver.
+#ifndef PFS_LAYOUT_TYPES_H_
+#define PFS_LAYOUT_TYPES_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/result.h"
+#include "core/units.h"
+#include "driver/disk_driver.h"
+
+namespace pfs {
+
+enum class FileType : uint8_t {
+  kNone = 0,
+  kRegular = 1,
+  kDirectory = 2,
+  kSymlink = 3,
+  kMultimedia = 4,  // continuous-media file with its own active thread
+};
+
+const char* FileTypeName(FileType t);
+
+// Disk addresses are file-system-block indices within the layout's
+// partition. 0 is the superblock, so 0 doubles as the null address.
+inline constexpr uint64_t kNullAddr = 0;
+
+// A partition of a disk, in file-system blocks, with gather/scatter helpers.
+// Spans may be empty: the simulated driver accounts time from the sector
+// count alone (the paper's "no real data is moved" rule).
+class BlockDev {
+ public:
+  BlockDev(DiskDriver* driver, uint32_t block_size, uint64_t start_block, uint64_t nblocks)
+      : driver_(driver),
+        block_size_(block_size),
+        start_block_(start_block),
+        nblocks_(nblocks),
+        sectors_per_block_(block_size / driver->sector_bytes()) {
+    PFS_CHECK(block_size % driver->sector_bytes() == 0);
+    PFS_CHECK((start_block + nblocks) * sectors_per_block_ <= driver->total_sectors());
+  }
+
+  Task<Status> Read(uint64_t block_addr, std::span<std::byte> out) {
+    PFS_CHECK(block_addr < nblocks_);
+    co_return co_await driver_->Read((start_block_ + block_addr) * sectors_per_block_,
+                                     sectors_per_block_, out);
+  }
+
+  Task<Status> Write(uint64_t block_addr, std::span<const std::byte> in) {
+    PFS_CHECK(block_addr < nblocks_);
+    co_return co_await driver_->Write((start_block_ + block_addr) * sectors_per_block_,
+                                      sectors_per_block_, in);
+  }
+
+  // One contiguous multi-block transfer — how the log writes whole segments.
+  Task<Status> WriteRun(uint64_t block_addr, uint32_t count, std::span<const std::byte> in) {
+    PFS_CHECK(block_addr + count <= nblocks_);
+    co_return co_await driver_->Write((start_block_ + block_addr) * sectors_per_block_,
+                                      count * sectors_per_block_, in);
+  }
+
+  Task<Status> ReadRun(uint64_t block_addr, uint32_t count, std::span<std::byte> out) {
+    PFS_CHECK(block_addr + count <= nblocks_);
+    co_return co_await driver_->Read((start_block_ + block_addr) * sectors_per_block_,
+                                     count * sectors_per_block_, out);
+  }
+
+  uint64_t nblocks() const { return nblocks_; }
+  uint32_t block_size() const { return block_size_; }
+  DiskDriver* driver() { return driver_; }
+
+ private:
+  DiskDriver* driver_;
+  uint32_t block_size_;
+  uint64_t start_block_;
+  uint64_t nblocks_;
+  uint32_t sectors_per_block_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_LAYOUT_TYPES_H_

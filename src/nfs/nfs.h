@@ -1,0 +1,130 @@
+// The PFS client interface (paper §3): an NFS-style RPC front-end derived
+// from the abstract client interface. "The NFS class spawns a number of
+// threads that wait for incoming ... requests. Whenever a request is
+// received, the call is dispatched to one (or more) calls in the abstract
+// client interface. Each thread ... acts as a representative of a client
+// while the request is in progress."
+//
+// The wire is an in-process loopback channel carrying XDR-encoded messages
+// (the sandboxed build has no network; the codec, procedure numbers, and
+// server thread-pool structure are the real interface shape).
+//
+// Message framing: request  = [xid u32][proc u32][args...]
+//                  response = [xid u32][status u32][results...]
+#ifndef PFS_NFS_NFS_H_
+#define PFS_NFS_NFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client_interface.h"
+#include "nfs/xdr.h"
+#include "sched/channel.h"
+#include "sched/scheduler.h"
+#include "stats/histogram.h"
+
+namespace pfs {
+
+enum class NfsProc : uint32_t {
+  kNull = 0,
+  kGetAttr = 1,
+  kLookup = 4,   // via Stat on a path
+  kRead = 6,
+  kWrite = 8,
+  kCreate = 9,   // open with create
+  kRemove = 10,
+  kRename = 11,
+  kMkdir = 14,
+  kRmdir = 15,
+  kReadDir = 16,
+  kOpen = 100,   // PFS extension: stateful open/close
+  kClose = 101,
+  kFsync = 102,
+  kTruncate = 103,
+  kSync = 104,
+};
+
+using NfsMessage = std::vector<std::byte>;
+
+// Bidirectional in-process transport: client -> server requests, server ->
+// client responses. One per connected client.
+struct NfsLoopback {
+  NfsLoopback(Scheduler* sched, size_t depth)
+      : requests(sched, depth), responses(sched, depth) {}
+  Channel<NfsMessage> requests;
+  Channel<NfsMessage> responses;
+};
+
+// Server: a pool of worker threads decoding requests and dispatching into
+// the abstract client interface.
+class NfsServer {
+ public:
+  NfsServer(Scheduler* sched, ClientInterface* backend, NfsLoopback* transport,
+            int worker_threads = 4);
+
+  // Spawns the worker pool (daemons).
+  void Start();
+
+  uint64_t requests_served() const { return served_; }
+
+ private:
+  Task<> Worker(int id);
+  Task<NfsMessage> HandleRequest(const NfsMessage& request);
+
+  Scheduler* sched_;
+  ClientInterface* backend_;
+  NfsLoopback* transport_;
+  int worker_threads_;
+  uint64_t served_ = 0;
+};
+
+// Client-side stub: encodes calls, sends them over the loopback, matches
+// responses by xid. Implements ClientInterface so applications (and the
+// trace replayer) can run over the RPC boundary unchanged.
+class NfsClient final : public ClientInterface {
+ public:
+  NfsClient(Scheduler* sched, NfsLoopback* transport);
+
+  Task<Result<Fd>> Open(const std::string& path, OpenOptions options) override;
+  Task<Status> Close(Fd fd) override;
+  Task<Result<uint64_t>> Read(Fd fd, uint64_t offset, uint64_t len,
+                              std::span<std::byte> out) override;
+  Task<Result<uint64_t>> Write(Fd fd, uint64_t offset, uint64_t len,
+                               std::span<const std::byte> in) override;
+  Task<Status> Truncate(Fd fd, uint64_t new_size) override;
+  Task<Status> Fsync(Fd fd) override;
+  Task<Result<FileAttrs>> FStat(Fd fd) override;
+  Task<Result<FileAttrs>> Stat(const std::string& path) override;
+  Task<Status> Unlink(const std::string& path) override;
+  Task<Status> Mkdir(const std::string& path) override;
+  Task<Status> Rmdir(const std::string& path) override;
+  Task<Status> Rename(const std::string& from, const std::string& to) override;
+  Task<Result<std::vector<DirEntry>>> ReadDir(const std::string& path) override;
+  Task<Status> SymlinkAt(const std::string& path, const std::string& target) override;
+  Task<Result<std::string>> ReadLink(const std::string& path) override;
+  Task<Status> SyncAll() override;
+
+ private:
+  // Sends [xid][proc][args] and waits for the matching response body.
+  Task<Result<NfsMessage>> Call(NfsProc proc, const NfsMessage& args);
+  Task<> ResponseDispatcher();  // routes responses to waiting callers by xid
+
+  Scheduler* sched_;
+  NfsLoopback* transport_;
+  uint32_t next_xid_ = 1;
+  bool dispatcher_started_ = false;
+
+  struct PendingCall {
+    explicit PendingCall(Scheduler* sched) : ready(sched) {}
+    Notification ready;
+    NfsMessage body;
+    Status status;
+  };
+  std::map<uint32_t, std::unique_ptr<PendingCall>> pending_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_NFS_NFS_H_

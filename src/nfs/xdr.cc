@@ -1,0 +1,70 @@
+#include "nfs/xdr.h"
+
+#include "core/units.h"
+
+namespace pfs {
+
+void XdrEncoder::PutU32(uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out_->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void XdrEncoder::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v));
+}
+
+void XdrEncoder::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  for (char c : s) {
+    out_->push_back(static_cast<std::byte>(c));
+  }
+  const size_t pad = (4 - s.size() % 4) % 4;
+  for (size_t i = 0; i < pad; ++i) {
+    out_->push_back(std::byte{0});
+  }
+}
+
+Status XdrDecoder::Need(size_t n) const {
+  if (remaining() < n) {
+    return Status(ErrorCode::kCorrupt, "short XDR buffer");
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> XdrDecoder::TakeU32() {
+  PFS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(in_[pos_ + static_cast<size_t>(i)]);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> XdrDecoder::TakeU64() {
+  PFS_ASSIGN_OR_RETURN(const uint32_t hi, TakeU32());
+  PFS_ASSIGN_OR_RETURN(const uint32_t lo, TakeU32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<int64_t> XdrDecoder::TakeI64() {
+  PFS_ASSIGN_OR_RETURN(const uint64_t v, TakeU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<bool> XdrDecoder::TakeBool() {
+  PFS_ASSIGN_OR_RETURN(const uint32_t v, TakeU32());
+  return v != 0;
+}
+
+Result<std::string> XdrDecoder::TakeString() {
+  PFS_ASSIGN_OR_RETURN(const uint32_t len, TakeU32());
+  PFS_RETURN_IF_ERROR(Need(RoundUp(len, 4)));
+  std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
+  pos_ += RoundUp(len, 4);
+  return s;
+}
+
+}  // namespace pfs

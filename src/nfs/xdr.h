@@ -1,0 +1,52 @@
+// XDR-style encoding (RFC 1014 flavour): big-endian 4-byte-aligned scalars
+// and length-prefixed padded opaques — the wire format of the PFS NFS-style
+// client interface (paper §3).
+#ifndef PFS_NFS_XDR_H_
+#define PFS_NFS_XDR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+
+namespace pfs {
+
+class XdrEncoder {
+ public:
+  explicit XdrEncoder(std::vector<std::byte>* out) : out_(out) {}
+
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU32(v ? 1 : 0); }
+  // Length-prefixed, zero-padded to a 4-byte boundary.
+  void PutString(std::string_view s);
+
+ private:
+  std::vector<std::byte>* out_;
+};
+
+class XdrDecoder {
+ public:
+  explicit XdrDecoder(std::span<const std::byte> in) : in_(in) {}
+
+  Result<uint32_t> TakeU32();
+  Result<uint64_t> TakeU64();
+  Result<int64_t> TakeI64();
+  Result<bool> TakeBool();
+  Result<std::string> TakeString();
+
+  size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::span<const std::byte> in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_NFS_XDR_H_

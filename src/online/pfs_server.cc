@@ -1,0 +1,103 @@
+#include "online/pfs_server.h"
+
+namespace pfs {
+
+Result<std::unique_ptr<PfsServer>> PfsServer::Start(const PfsServerConfig& config) {
+  auto server = std::unique_ptr<PfsServer>(new PfsServer());
+  server->config_ = config;
+  server->sched_ = Scheduler::CreateReal(config.seed);
+  server->executor_ = std::make_unique<IoExecutor>(2);
+
+  PFS_ASSIGN_OR_RETURN(server->driver_,
+                       FileBackedDriver::Create(server->sched_.get(), "pfs0",
+                                                config.image_path, config.image_bytes,
+                                                server->executor_.get()));
+  server->driver_->Start();
+
+  LfsConfig lfs;
+  lfs.fs_id = 0;
+  lfs.segment_blocks = config.lfs_segment_blocks;
+  lfs.max_inodes = config.max_inodes;
+  lfs.materialize_metadata = true;  // the real system round-trips its metadata
+  server->layout_ = std::make_unique<LfsLayout>(
+      server->sched_.get(),
+      BlockDev(server->driver_.get(), kDefaultBlockSize, 0,
+               config.image_bytes / kDefaultBlockSize),
+      lfs, MakeCleanerPolicy(config.cleaner));
+
+  BufferCache::Config cache_config;
+  cache_config.capacity_bytes = config.cache_bytes;
+  cache_config.allocate_memory = true;  // a real cache holds real bytes
+  cache_config.async_flush = true;
+  server->cache_ = std::make_unique<BufferCache>(
+      server->sched_.get(), cache_config, MakeReplacementPolicy(config.replacement),
+      MakeFlushPolicy(config.flush_policy));
+  server->mover_ = std::make_unique<RealDataMover>();
+  server->fs_ = std::make_unique<FileSystem>(server->sched_.get(), server->layout_.get(),
+                                             server->cache_.get(), server->mover_.get());
+  server->client_ = std::make_unique<LocalClient>(server->sched_.get());
+  server->client_->AddMount("pfs", server->fs_.get());
+
+  // Format or mount on the scheduler before the loop goes live.
+  Status setup(ErrorCode::kAborted);
+  server->sched_->Spawn("pfs.setup", [](PfsServer* s, Status* out) -> Task<> {
+    if (s->config_.format) {
+      *out = co_await s->layout_->Format();
+    } else {
+      *out = co_await s->layout_->Mount();
+    }
+  }(server.get(), &setup));
+  server->sched_->Run();  // returns when the setup thread finishes
+  PFS_RETURN_IF_ERROR(setup);
+  server->sched_->set_keep_alive(true);  // from here on, Run() serves forever
+  server->cache_->Start();
+  server->layout_->Start();
+
+  if (config.record_trace) {
+    server->recording_ = std::make_unique<RecordingClient>(server->sched_.get(),
+                                                           server->client_.get());
+  }
+
+  // NFS-style front end over the loopback transport.
+  server->loopback_ = std::make_unique<NfsLoopback>(server->sched_.get(), 64);
+  server->nfs_ = std::make_unique<NfsServer>(server->sched_.get(), server->client(),
+                                             server->loopback_.get(), config.nfs_workers);
+  server->nfs_->Start();
+
+  // The on-line service loop.
+  server->server_thread_ = std::thread([sched = server->sched_.get()] { sched->Run(); });
+  return server;
+}
+
+std::vector<TraceRecord> PfsServer::TakeRecordedTrace() {
+  return recording_ ? recording_->TakeRecords() : std::vector<TraceRecord>{};
+}
+
+Status PfsServer::Stop() {
+  if (stopped_) {
+    return OkStatus();
+  }
+  stopped_ = true;
+  // Sync through the scheduler, then stop the loop.
+  const Status sync = Submit([](ClientInterface* c) -> Task<Status> {
+    co_return co_await c->SyncAll();
+  });
+  sched_->RequestStop();
+  if (server_thread_.joinable()) {
+    server_thread_.join();
+  }
+  return sync;
+}
+
+PfsServer::~PfsServer() {
+  if (!stopped_) {
+    (void)Stop();
+  }
+  // The loop has stopped; release suspended frames (NFS workers, daemons)
+  // before the components they reference are destroyed.
+  if (sched_ != nullptr) {
+    sched_->DestroyAllThreads();
+  }
+}
+
+}  // namespace pfs

@@ -1,0 +1,106 @@
+// PFS: the on-line instantiation (paper §3) — the same framework components
+// bound to a real clock, real memory in the cache, and a file-backed disk
+// driver, fronted by the NFS-style interface. The scheduler runs on a
+// dedicated OS thread; other OS threads submit work with Submit(), which
+// posts a closure and blocks on a promise — the external-event integration
+// the paper describes for the real system.
+#ifndef PFS_ONLINE_PFS_SERVER_H_
+#define PFS_ONLINE_PFS_SERVER_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/buffer_cache.h"
+#include "cache/data_mover.h"
+#include "client/local_client.h"
+#include "driver/file_backed_driver.h"
+#include "driver/io_executor.h"
+#include "layout/lfs_layout.h"
+#include "nfs/nfs.h"
+#include "online/recording_client.h"
+
+namespace pfs {
+
+struct PfsServerConfig {
+  std::string image_path;               // backing Unix file (the "raw device")
+  uint64_t image_bytes = 64 * kMiB;
+  bool format = true;                   // format vs mount an existing image
+  uint64_t cache_bytes = 8 * kMiB;
+  std::string flush_policy = "write-delay";
+  std::string replacement = "LRU";
+  std::string cleaner = "greedy";
+  uint32_t lfs_segment_blocks = 64;
+  uint32_t max_inodes = 4096;
+  bool record_trace = false;            // wrap the client in a RecordingClient
+  int nfs_workers = 4;
+  uint64_t seed = 1;
+};
+
+class PfsServer {
+ public:
+  // Builds, formats/mounts, and starts the server loop on its own OS thread.
+  static Result<std::unique_ptr<PfsServer>> Start(const PfsServerConfig& config);
+
+  ~PfsServer();
+
+  PfsServer(const PfsServer&) = delete;
+  PfsServer& operator=(const PfsServer&) = delete;
+
+  // Runs a coroutine against the server's client interface from any OS
+  // thread and waits for its completion. `fn` is invoked on the scheduler
+  // thread and must return Task<Status>.
+  template <typename Fn>
+  Status Submit(Fn fn) {
+    std::promise<Status> promise;
+    std::future<Status> future = promise.get_future();
+    sched_->Post([this, fn = std::move(fn), &promise]() mutable {
+      sched_->Spawn("pfs.request", RunAndFulfill(std::move(fn), &promise));
+    });
+    return future.get();
+  }
+
+  // The mounted client interface (recording wrapper if configured). Only
+  // touch it from coroutines running on the server's scheduler.
+  ClientInterface* client() { return recording_ ? static_cast<ClientInterface*>(recording_.get())
+                                                : client_.get(); }
+  Scheduler* scheduler() { return sched_.get(); }
+  BufferCache* cache() { return cache_.get(); }
+  LfsLayout* layout() { return layout_.get(); }
+
+  // Recorded trace (if record_trace was set); safe after Stop().
+  std::vector<TraceRecord> TakeRecordedTrace();
+
+  // Syncs, stops the scheduler loop, and joins the server thread.
+  Status Stop();
+
+ private:
+  PfsServer() = default;
+
+  template <typename Fn>
+  Task<> RunAndFulfill(Fn fn, std::promise<Status>* promise) {
+    const Status status = co_await fn(client());
+    promise->set_value(status);
+  }
+
+  PfsServerConfig config_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<IoExecutor> executor_;
+  std::unique_ptr<FileBackedDriver> driver_;
+  std::unique_ptr<LfsLayout> layout_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<RealDataMover> mover_;
+  std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<LocalClient> client_;
+  std::unique_ptr<RecordingClient> recording_;
+  std::unique_ptr<NfsLoopback> loopback_;
+  std::unique_ptr<NfsServer> nfs_;
+  std::thread server_thread_;
+  bool stopped_ = false;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_ONLINE_PFS_SERVER_H_

@@ -1,0 +1,122 @@
+// RecordingClient: a ClientInterface decorator that writes a trace of every
+// operation it forwards. This closes the paper's loop: PFS records traces of
+// real use, Patsy replays them off-line against candidate algorithms, and
+// the winning algorithm migrates back into PFS unchanged (§5.3: "we will use
+// snapshots of PFS in Patsy experiments").
+#ifndef PFS_ONLINE_RECORDING_CLIENT_H_
+#define PFS_ONLINE_RECORDING_CLIENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "client/client_interface.h"
+#include "sched/scheduler.h"
+#include "trace/trace.h"
+
+namespace pfs {
+
+class RecordingClient final : public ClientInterface {
+ public:
+  RecordingClient(Scheduler* sched, ClientInterface* backend, uint32_t client_id = 0)
+      : sched_(sched), backend_(backend), client_id_(client_id),
+        start_(sched->Now()) {}
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::vector<TraceRecord> TakeRecords() { return std::move(records_); }
+
+  Task<Result<Fd>> Open(const std::string& path, OpenOptions options) override {
+    Record(TraceOp::kOpen, path, 0, 0, options.create);
+    auto fd = co_await backend_->Open(path, options);
+    if (fd.ok()) {
+      fd_paths_[*fd] = path;
+    }
+    co_return fd;
+  }
+  Task<Status> Close(Fd fd) override {
+    Record(TraceOp::kClose, PathOf(fd), 0, 0);
+    fd_paths_.erase(fd);
+    co_return co_await backend_->Close(fd);
+  }
+  Task<Result<uint64_t>> Read(Fd fd, uint64_t offset, uint64_t len,
+                              std::span<std::byte> out) override {
+    Record(TraceOp::kRead, PathOf(fd), offset, len);
+    co_return co_await backend_->Read(fd, offset, len, out);
+  }
+  Task<Result<uint64_t>> Write(Fd fd, uint64_t offset, uint64_t len,
+                               std::span<const std::byte> in) override {
+    Record(TraceOp::kWrite, PathOf(fd), offset, len);
+    co_return co_await backend_->Write(fd, offset, len, in);
+  }
+  Task<Status> Truncate(Fd fd, uint64_t new_size) override {
+    Record(TraceOp::kTruncate, PathOf(fd), 0, new_size);
+    co_return co_await backend_->Truncate(fd, new_size);
+  }
+  Task<Status> Fsync(Fd fd) override { co_return co_await backend_->Fsync(fd); }
+  Task<Result<FileAttrs>> FStat(Fd fd) override { co_return co_await backend_->FStat(fd); }
+  Task<Result<FileAttrs>> Stat(const std::string& path) override {
+    Record(TraceOp::kStat, path, 0, 0);
+    co_return co_await backend_->Stat(path);
+  }
+  Task<Status> Unlink(const std::string& path) override {
+    Record(TraceOp::kUnlink, path, 0, 0);
+    co_return co_await backend_->Unlink(path);
+  }
+  Task<Status> Mkdir(const std::string& path) override {
+    Record(TraceOp::kMkdir, path, 0, 0);
+    co_return co_await backend_->Mkdir(path);
+  }
+  Task<Status> Rmdir(const std::string& path) override {
+    Record(TraceOp::kRmdir, path, 0, 0);
+    co_return co_await backend_->Rmdir(path);
+  }
+  Task<Status> Rename(const std::string& from, const std::string& to) override {
+    TraceRecord r = MakeRecord(TraceOp::kRename, from, 0, 0);
+    r.path2 = to;
+    records_.push_back(std::move(r));
+    co_return co_await backend_->Rename(from, to);
+  }
+  Task<Result<std::vector<DirEntry>>> ReadDir(const std::string& path) override {
+    co_return co_await backend_->ReadDir(path);
+  }
+  Task<Status> SymlinkAt(const std::string& path, const std::string& target) override {
+    co_return co_await backend_->SymlinkAt(path, target);
+  }
+  Task<Result<std::string>> ReadLink(const std::string& path) override {
+    co_return co_await backend_->ReadLink(path);
+  }
+  Task<Status> SyncAll() override { co_return co_await backend_->SyncAll(); }
+
+ private:
+  TraceRecord MakeRecord(TraceOp op, const std::string& path, uint64_t offset,
+                         uint64_t length, bool create = false) {
+    TraceRecord r;
+    r.time_us = (sched_->Now() - start_).micros();
+    r.client = client_id_;
+    r.op = op;
+    r.path = path;
+    r.offset = offset;
+    r.length = length;
+    r.create = create;
+    return r;
+  }
+  void Record(TraceOp op, const std::string& path, uint64_t offset, uint64_t length,
+              bool create = false) {
+    records_.push_back(MakeRecord(op, path, offset, length, create));
+  }
+  std::string PathOf(Fd fd) const {
+    auto it = fd_paths_.find(fd);
+    return it == fd_paths_.end() ? "?" : it->second;
+  }
+
+  Scheduler* sched_;
+  ClientInterface* backend_;
+  uint32_t client_id_;
+  TimePoint start_;
+  std::vector<TraceRecord> records_;
+  std::map<Fd, std::string> fd_paths_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_ONLINE_RECORDING_CLIENT_H_

@@ -1,0 +1,96 @@
+// Bounded single-scheduler channel: the work-queue primitive between
+// producer and consumer threads (disk drivers feeding disk mechanisms, the
+// NFS front-end feeding worker threads, cleaners feeding writers).
+#ifndef PFS_SCHED_CHANNEL_H_
+#define PFS_SCHED_CHANNEL_H_
+
+#include <deque>
+#include <optional>
+
+#include "core/check.h"
+#include "sched/event.h"
+#include "sched/task.h"
+
+namespace pfs {
+
+template <typename T>
+class Channel {
+ public:
+  Channel(Scheduler* sched, size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity), not_empty_(sched), not_full_(sched) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Blocks while full. Returns false if the channel was closed before the
+  // item could be queued.
+  Task<bool> Send(T item) {
+    while (!closed_ && items_.size() >= capacity_) {
+      co_await not_full_.Wait();
+    }
+    if (closed_) {
+      co_return false;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.Signal();
+    co_return true;
+  }
+
+  // Blocks while empty. Returns nullopt once the channel is closed and
+  // drained.
+  Task<std::optional<T>> Recv() {
+    while (items_.empty() && !closed_) {
+      co_await not_empty_.Wait();
+    }
+    if (items_.empty()) {
+      co_return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.Signal();
+    co_return item;
+  }
+
+  // Non-blocking variants.
+  bool TrySend(T item) {
+    if (closed_ || items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.Signal();
+    return true;
+  }
+
+  bool TryRecv(T* out) {
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.Signal();
+    return true;
+  }
+
+  // Wakes all blocked senders (which fail) and receivers (which drain, then
+  // observe closure).
+  void Close() {
+    closed_ = true;
+    not_empty_.Broadcast();
+    not_full_.Broadcast();
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool closed() const { return closed_; }
+
+ private:
+  size_t capacity_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  Event not_empty_;
+  Event not_full_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_SCHED_CHANNEL_H_

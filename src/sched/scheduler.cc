@@ -1,0 +1,334 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "core/log.h"
+
+namespace pfs {
+
+namespace {
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RealClock::RealClock() : epoch_ns_(SteadyNowNanos()) {}
+
+TimePoint RealClock::Now() const { return TimePoint::FromNanos(SteadyNowNanos() - epoch_ns_); }
+
+const char* ThreadStateName(ThreadState s) {
+  switch (s) {
+    case ThreadState::kRunnable:
+      return "runnable";
+    case ThreadState::kRunning:
+      return "running";
+    case ThreadState::kBlocked:
+      return "blocked";
+    case ThreadState::kDelayed:
+      return "delayed";
+    case ThreadState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+Thread::Thread(Scheduler* sched, uint64_t id, std::string name, bool daemon, Task<> body)
+    : id_(id),
+      name_(std::move(name)),
+      daemon_(daemon),
+      body_(std::move(body)),
+      resume_point_(body_.handle()),
+      done_(sched) {}
+
+void Event::BlockOn(std::coroutine_handle<> h) { sched_->BlockCurrentOn(h, this); }
+
+void Event::Signal() {
+  if (waiters_.empty()) {
+    return;
+  }
+  Thread* t = waiters_.front();
+  waiters_.pop_front();
+  sched_->MakeRunnable(t);
+}
+
+void Event::Broadcast() {
+  while (!waiters_.empty()) {
+    Thread* t = waiters_.front();
+    waiters_.pop_front();
+    sched_->MakeRunnable(t);
+  }
+}
+
+void Notification::Notify() {
+  if (!fired_) {
+    fired_ = true;
+    event_.Broadcast();
+  }
+}
+
+Scheduler::Scheduler(std::unique_ptr<Clock> clock, uint64_t seed)
+    : clock_(std::move(clock)), rng_(seed) {
+  PFS_CHECK(clock_ != nullptr);
+}
+
+Scheduler::~Scheduler() = default;
+
+std::unique_ptr<Scheduler> Scheduler::CreateVirtual(uint64_t seed) {
+  return std::make_unique<Scheduler>(std::make_unique<VirtualClock>(), seed);
+}
+
+std::unique_ptr<Scheduler> Scheduler::CreateReal(uint64_t seed) {
+  return std::make_unique<Scheduler>(std::make_unique<RealClock>(), seed);
+}
+
+Thread* Scheduler::SpawnImpl(std::string name, bool daemon, Task<> body) {
+  PFS_CHECK_MSG(body.valid(), "Spawn of an empty task");
+  auto thread = std::unique_ptr<Thread>(
+      new Thread(this, next_thread_id_++, std::move(name), daemon, std::move(body)));
+  Thread* t = thread.get();
+  threads_.push_back(std::move(thread));
+  if (!daemon) {
+    ++live_non_daemon_;
+  }
+  runnable_.push_back(t);
+  return t;
+}
+
+size_t Scheduler::PickNext(size_t runnable_count) {
+  // The paper's default policy: pick a random thread from the runnable set.
+  return static_cast<size_t>(rng_.NextBelow(runnable_count));
+}
+
+void Scheduler::RunOne() {
+  const size_t idx = PickNext(runnable_.size());
+  PFS_CHECK(idx < runnable_.size());
+  Thread* t = runnable_[idx];
+  runnable_.erase(runnable_.begin() + static_cast<ptrdiff_t>(idx));
+
+  t->state_ = ThreadState::kRunning;
+  current_ = t;
+  ++context_switches_;
+  std::coroutine_handle<> h = std::exchange(t->resume_point_, nullptr);
+  PFS_CHECK_MSG(h != nullptr, "runnable thread with no resume point");
+  h.resume();
+  current_ = nullptr;
+
+  if (t->body_.done()) {
+    FinishThread(t);
+  } else {
+    // The thread must have parked itself via a scheduler awaitable.
+    PFS_CHECK_MSG(t->state_ != ThreadState::kRunning,
+                  "thread suspended outside scheduler control");
+  }
+}
+
+void Scheduler::FinishThread(Thread* t) {
+  t->state_ = ThreadState::kFinished;
+  if (!t->daemon_) {
+    PFS_CHECK(live_non_daemon_ > 0);
+    --live_non_daemon_;
+  }
+  t->done_.Notify();
+  // Release the coroutine frame now; the Thread record stays for bookkeeping.
+  t->body_ = Task<>();
+}
+
+void Scheduler::SuspendCurrentUntil(std::coroutine_handle<> h, TimePoint wake) {
+  Thread* t = current_;
+  PFS_CHECK_MSG(t != nullptr, "Sleep outside a scheduler thread");
+  t->resume_point_ = h;
+  t->state_ = ThreadState::kDelayed;
+  t->wake_time_ = wake;
+  delayed_.push(DelayEntry{wake, next_delay_seq_++, t});
+}
+
+void Scheduler::YieldCurrent(std::coroutine_handle<> h) {
+  Thread* t = current_;
+  PFS_CHECK_MSG(t != nullptr, "Yield outside a scheduler thread");
+  t->resume_point_ = h;
+  t->state_ = ThreadState::kRunnable;
+  runnable_.push_back(t);
+}
+
+void Scheduler::BlockCurrentOn(std::coroutine_handle<> h, Event* event) {
+  Thread* t = current_;
+  PFS_CHECK_MSG(t != nullptr, "Event wait outside a scheduler thread");
+  t->resume_point_ = h;
+  t->state_ = ThreadState::kBlocked;
+  event->waiters_.push_back(t);
+}
+
+void Scheduler::MakeRunnable(Thread* t) {
+  PFS_CHECK_MSG(t->state_ == ThreadState::kBlocked, "MakeRunnable on non-blocked thread");
+  t->state_ = ThreadState::kRunnable;
+  runnable_.push_back(t);
+}
+
+void Scheduler::WakeExpired() {
+  const TimePoint now = Now();
+  while (!delayed_.empty() && delayed_.top().wake <= now) {
+    Thread* t = delayed_.top().thread;
+    delayed_.pop();
+    PFS_CHECK(t->state_ == ThreadState::kDelayed);
+    t->state_ = ThreadState::kRunnable;
+    runnable_.push_back(t);
+  }
+}
+
+void Scheduler::DrainPosted() {
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lk(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) {
+    fn();
+  }
+}
+
+bool Scheduler::NonDaemonAlive() const { return live_non_daemon_ > 0; }
+
+size_t Scheduler::live_thread_count() const {
+  size_t n = 0;
+  for (const auto& t : threads_) {
+    if (t->state() != ThreadState::kFinished) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Scheduler::DestroyAllThreads() {
+  for (auto& t : threads_) {
+    // Destroying a frame runs the destructors of its locals (lock guards,
+    // buffers); those may legitimately signal events and mark other threads
+    // runnable. Nothing is resumed.
+    t->body_ = Task<>();
+  }
+  for (auto& t : threads_) {
+    t->state_ = ThreadState::kFinished;
+  }
+  live_non_daemon_ = 0;
+  runnable_.clear();
+  while (!delayed_.empty()) {
+    delayed_.pop();
+  }
+}
+
+void Scheduler::DumpThreads() const {
+  std::fprintf(stderr, "-- scheduler threads (now=%.6fs) --\n", Now().ToSecondsF());
+  for (const auto& t : threads_) {
+    if (t->state() == ThreadState::kFinished) {
+      continue;
+    }
+    std::fprintf(stderr, "  [%llu] %-24s %s%s\n", static_cast<unsigned long long>(t->id()),
+                 t->name().c_str(), ThreadStateName(t->state()), t->daemon() ? " (daemon)" : "");
+  }
+}
+
+void Scheduler::WaitRealUntil(TimePoint t) {
+  std::unique_lock<std::mutex> lk(post_mu_);
+  const Duration remaining = t - Now();
+  if (remaining <= Duration()) {
+    return;
+  }
+  post_cv_.wait_for(lk, std::chrono::nanoseconds(remaining.nanos()),
+                    [&] { return !posted_.empty() || stop_.load(); });
+}
+
+void Scheduler::WaitRealForever() {
+  std::unique_lock<std::mutex> lk(post_mu_);
+  post_cv_.wait(lk, [&] { return !posted_.empty() || stop_.load(); });
+}
+
+void Scheduler::Run() {
+  for (;;) {
+    DrainPosted();
+    WakeExpired();
+    if (stop_.load()) {
+      return;
+    }
+    if (!runnable_.empty()) {
+      RunOne();
+      continue;
+    }
+    if (!NonDaemonAlive() && !keep_alive_) {
+      return;  // only daemon housekeeping remains
+    }
+    if (!delayed_.empty()) {
+      const TimePoint next = delayed_.top().wake;
+      if (is_virtual()) {
+        clock_->AdvanceTo(next);
+      } else {
+        WaitRealUntil(next);
+      }
+      continue;
+    }
+    // No runnable, no delayed. If I/O is in flight on another OS thread its
+    // completion Post() is coming; block for it (virtual clock included —
+    // simulated time simply does not advance while we wait).
+    if (pending_external_.load() > 0) {
+      WaitRealForever();
+      continue;
+    }
+    // Otherwise, in a simulator this is a deadlock: blocked threads that
+    // nothing can ever wake.
+    if (is_virtual()) {
+      DumpThreads();
+      PFS_CHECK_MSG(false, "scheduler deadlock: threads blocked with no timer pending");
+    }
+    WaitRealForever();
+  }
+}
+
+void Scheduler::RunFor(Duration d) {
+  const TimePoint deadline = Now() + d;
+  for (;;) {
+    DrainPosted();
+    WakeExpired();
+    if (stop_.load() || Now() >= deadline) {
+      return;
+    }
+    if (!runnable_.empty()) {
+      RunOne();
+      continue;
+    }
+    if (!delayed_.empty() && delayed_.top().wake <= deadline) {
+      if (is_virtual()) {
+        clock_->AdvanceTo(delayed_.top().wake);
+      } else {
+        WaitRealUntil(delayed_.top().wake);
+      }
+      continue;
+    }
+    if (pending_external_.load() > 0) {
+      WaitRealForever();  // an I/O completion Post() is on its way
+      continue;
+    }
+    // No work left before the deadline; run the clock out.
+    if (is_virtual()) {
+      clock_->AdvanceTo(deadline);
+      return;
+    }
+    WaitRealUntil(deadline);  // may wake early for Post(); loop re-checks
+  }
+}
+
+void Scheduler::RequestStop() {
+  stop_.store(true);
+  post_cv_.notify_all();
+}
+
+void Scheduler::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  post_cv_.notify_all();
+}
+
+}  // namespace pfs

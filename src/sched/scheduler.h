@@ -1,0 +1,249 @@
+// The thread scheduler: cooperative coroutine threads over a virtual or real
+// clock (paper §2, "Thread scheduler").
+//
+// One Scheduler instance drives one instantiated system — a Patsy simulator
+// (virtual clock: time jumps to the next timer expiry whenever no thread is
+// runnable) or an on-line PFS (real clock: timers expire in real time and
+// external requests are injected from other OS threads via Post()).
+//
+// The default scheduling policy picks a *random* runnable thread, as in the
+// paper; derived classes can override PickNext() to implement others.
+#ifndef PFS_SCHED_SCHEDULER_H_
+#define PFS_SCHED_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "sched/event.h"
+#include "sched/task.h"
+#include "sched/time.h"
+
+namespace pfs {
+
+// Time source. VirtualClock advances only when the scheduler is idle;
+// RealClock tracks the host's monotonic clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+  virtual bool is_virtual() const = 0;
+  // Jumps virtual time forward; no-op for a real clock (real time advances on
+  // its own while the scheduler sleeps).
+  virtual void AdvanceTo(TimePoint t) = 0;
+};
+
+class VirtualClock final : public Clock {
+ public:
+  TimePoint Now() const override { return now_; }
+  bool is_virtual() const override { return true; }
+  void AdvanceTo(TimePoint t) override {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  TimePoint now_;
+};
+
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  TimePoint Now() const override;
+  bool is_virtual() const override { return false; }
+  void AdvanceTo(TimePoint) override {}
+
+ private:
+  int64_t epoch_ns_;  // steady_clock reading at construction
+};
+
+enum class ThreadState : uint8_t {
+  kRunnable,
+  kRunning,
+  kBlocked,   // waiting on an Event
+  kDelayed,   // sleeping until wake_time
+  kFinished,
+};
+
+const char* ThreadStateName(ThreadState s);
+
+// One independent file-system process. Created via Scheduler::Spawn; the
+// coroutine frame is released as soon as the thread finishes.
+class Thread {
+ public:
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ThreadState state() const { return state_; }
+  bool daemon() const { return daemon_; }
+
+  // Fired when the thread's body returns. Join with: co_await t->done().Wait()
+  Notification& done() { return done_; }
+
+ private:
+  friend class Scheduler;
+
+  Thread(Scheduler* sched, uint64_t id, std::string name, bool daemon, Task<> body);
+
+  uint64_t id_;
+  std::string name_;
+  bool daemon_;
+  Task<> body_;
+  std::coroutine_handle<> resume_point_;
+  ThreadState state_ = ThreadState::kRunnable;
+  TimePoint wake_time_;
+  Notification done_;
+};
+
+class Scheduler {
+ public:
+  // `seed` drives the random pick policy; two runs with the same seed and the
+  // same workload interleave identically.
+  explicit Scheduler(std::unique_ptr<Clock> clock, uint64_t seed = 1);
+  virtual ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  static std::unique_ptr<Scheduler> CreateVirtual(uint64_t seed = 1);
+  static std::unique_ptr<Scheduler> CreateReal(uint64_t seed = 1);
+
+  TimePoint Now() const { return clock_->Now(); }
+  bool is_virtual() const { return clock_->is_virtual(); }
+
+  // Spawns an independent thread of control. Regular threads keep Run()
+  // alive until they finish; daemons (cleaners, flush scanners, disk
+  // mechanisms) do not.
+  Thread* Spawn(std::string name, Task<> body) { return SpawnImpl(std::move(name), false, std::move(body)); }
+  Thread* SpawnDaemon(std::string name, Task<> body) { return SpawnImpl(std::move(name), true, std::move(body)); }
+
+  // Runs until no non-daemon work remains (or RequestStop). With
+  // set_keep_alive(true) — the on-line server mode — Run() only returns on
+  // RequestStop and otherwise blocks waiting for Post()ed work.
+  void Run();
+
+  // Runs for at most `d` of (virtual or real) time.
+  void RunFor(Duration d);
+
+  // Thread-safe: requests Run() to return at the next scheduling point.
+  void RequestStop();
+
+  // Thread-safe: executes `fn` on the scheduler loop (between thread steps).
+  // This is how the on-line system injects external requests (paper §2:
+  // "External events are also managed by the scheduler ... in a real
+  // system"). `fn` must not block; typically it spawns a thread or signals an
+  // event.
+  void Post(std::function<void()> fn);
+
+  void set_keep_alive(bool keep_alive) { keep_alive_ = keep_alive; }
+
+  // Thread-safe in-flight accounting for work running on *other* OS threads
+  // (the real disk driver's I/O executor). While any external op is pending,
+  // Run() blocks for its completion Post() instead of declaring deadlock or
+  // returning. Pair every Begin with exactly one End.
+  void BeginExternalOp() { pending_external_.fetch_add(1); }
+  void EndExternalOp() { pending_external_.fetch_sub(1); }
+
+  // Suspends the calling thread for `d`.
+  auto Sleep(Duration d) { return SleepUntilAwaiter{this, Now() + d}; }
+  auto SleepUntil(TimePoint t) { return SleepUntilAwaiter{this, t}; }
+
+  // Reschedules the calling thread, giving others a chance to run.
+  auto Yield() { return YieldAwaiter{this}; }
+
+  Thread* current_thread() { return current_; }
+  uint64_t context_switches() const { return context_switches_; }
+  size_t live_thread_count() const;
+
+  // Writes a one-line-per-thread state dump to stderr (deadlock diagnosis).
+  void DumpThreads() const;
+
+  // Teardown: destroys every coroutine frame (running or suspended) while
+  // the rest of the system is still alive. Owners whose schedulers outlive
+  // the components the threads reference (the usual member order) must call
+  // this before those components are destroyed; frame destructors may
+  // release locks and signal events, which is only safe then.
+  void DestroyAllThreads();
+
+ protected:
+  // Index into the runnable set of the next thread to run. Default: uniform
+  // random (the paper's policy). Override for other policies.
+  virtual size_t PickNext(size_t runnable_count);
+
+ private:
+  friend class Event;
+
+  struct SleepUntilAwaiter {
+    Scheduler* sched;
+    TimePoint wake;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { sched->SuspendCurrentUntil(h, wake); }
+    void await_resume() const noexcept {}
+  };
+
+  struct YieldAwaiter {
+    Scheduler* sched;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { sched->YieldCurrent(h); }
+    void await_resume() const noexcept {}
+  };
+
+  struct DelayEntry {
+    TimePoint wake;
+    uint64_t seq;  // tie-breaker: FIFO among equal wake times
+    Thread* thread;
+    bool operator>(const DelayEntry& other) const {
+      if (wake != other.wake) {
+        return wake > other.wake;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  Thread* SpawnImpl(std::string name, bool daemon, Task<> body);
+
+  // Called from awaiters, always on the scheduler's OS thread.
+  void SuspendCurrentUntil(std::coroutine_handle<> h, TimePoint wake);
+  void YieldCurrent(std::coroutine_handle<> h);
+  void BlockCurrentOn(std::coroutine_handle<> h, Event* event);
+  void MakeRunnable(Thread* t);
+
+  void RunOne();
+  void WakeExpired();
+  void DrainPosted();
+  bool NonDaemonAlive() const;
+  void FinishThread(Thread* t);
+
+  // Real-clock idle waits (interruptible by Post/RequestStop).
+  void WaitRealUntil(TimePoint t);
+  void WaitRealForever();
+
+  std::unique_ptr<Clock> clock_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<Thread*> runnable_;
+  std::priority_queue<DelayEntry, std::vector<DelayEntry>, std::greater<DelayEntry>> delayed_;
+  Thread* current_ = nullptr;
+  uint64_t next_thread_id_ = 1;
+  uint64_t next_delay_seq_ = 0;
+  uint64_t context_switches_ = 0;
+  size_t live_non_daemon_ = 0;
+  bool keep_alive_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> pending_external_{0};
+
+  std::mutex post_mu_;
+  std::condition_variable post_cv_;
+  std::deque<std::function<void()>> posted_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_SCHED_SCHEDULER_H_

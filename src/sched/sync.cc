@@ -1,0 +1,41 @@
+#include "sched/sync.h"
+
+namespace pfs {
+
+Task<Mutex::Guard> Mutex::Lock() {
+  while (locked_) {
+    co_await available_.Wait();
+  }
+  locked_ = true;
+  co_return Guard(this);
+}
+
+void Mutex::Unlock() {
+  PFS_CHECK_MSG(locked_, "Unlock of unlocked mutex");
+  locked_ = false;
+  available_.Signal();
+}
+
+Task<> Semaphore::Acquire(int64_t n) {
+  while (count_ < n) {
+    co_await nonzero_.Wait();
+  }
+  count_ -= n;
+}
+
+bool Semaphore::TryAcquire(int64_t n) {
+  if (count_ < n) {
+    return false;
+  }
+  count_ -= n;
+  return true;
+}
+
+void Semaphore::Release(int64_t n) {
+  count_ += n;
+  // Broadcast, not Signal: waiters may need different amounts and must all
+  // re-evaluate their predicates.
+  nonzero_.Broadcast();
+}
+
+}  // namespace pfs

@@ -1,0 +1,83 @@
+// Mutex and Semaphore built on Event, for threads that must serialize access
+// to shared file-system state (inode updates, log frontier, NVRAM budget).
+#ifndef PFS_SCHED_SYNC_H_
+#define PFS_SCHED_SYNC_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "sched/event.h"
+#include "sched/task.h"
+
+namespace pfs {
+
+// Cooperative mutex. `co_await m.Lock()` yields a Guard that releases on
+// destruction, so lock scopes read like std::scoped_lock.
+class Mutex {
+ public:
+  explicit Mutex(Scheduler* sched) : available_(sched) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  class [[nodiscard]] Guard {
+   public:
+    Guard() = default;
+    explicit Guard(Mutex* m) : m_(m) {}
+    Guard(Guard&& other) noexcept : m_(std::exchange(other.m_, nullptr)) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        m_ = std::exchange(other.m_, nullptr);
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    // Explicit early unlock.
+    void Release() {
+      if (m_ != nullptr) {
+        std::exchange(m_, nullptr)->Unlock();
+      }
+    }
+
+   private:
+    Mutex* m_ = nullptr;
+  };
+
+  Task<Guard> Lock();
+
+  bool locked() const { return locked_; }
+
+ private:
+  void Unlock();
+
+  bool locked_ = false;
+  Event available_;
+};
+
+// Counting semaphore. Release may exceed the initial count (it is a plain
+// counter, not a bounded resource pool).
+class Semaphore {
+ public:
+  Semaphore(Scheduler* sched, int64_t initial) : count_(initial), nonzero_(sched) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  Task<> Acquire(int64_t n = 1);
+  bool TryAcquire(int64_t n = 1);
+  void Release(int64_t n = 1);
+
+  int64_t available() const { return count_; }
+
+ private:
+  int64_t count_;
+  Event nonzero_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_SCHED_SYNC_H_

@@ -1,0 +1,84 @@
+// Simulation time: Duration and TimePoint as strong int64 nanosecond types.
+//
+// The same types are used under the virtual clock (Patsy) and the real clock
+// (PFS): framework code computes with Durations and never knows which clock
+// is driving it. That symmetry is what lets cache/layout/driver code move
+// between simulator and file-system unchanged (paper §2, thread scheduler).
+#ifndef PFS_SCHED_TIME_H_
+#define PFS_SCHED_TIME_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace pfs {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(int64_t ns) { return Duration(ns); }
+  static constexpr Duration Micros(int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000000); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000000000); }
+  static constexpr Duration Minutes(int64_t m) { return Seconds(m * 60); }
+  static constexpr Duration Hours(int64_t h) { return Seconds(h * 3600); }
+
+  // From fractional seconds/milliseconds (rounded to whole nanoseconds).
+  static constexpr Duration SecondsF(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration MillisF(double ms) { return SecondsF(ms / 1e3); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / 1000000; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToMillisF() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr bool IsZero() const { return ns_ == 0; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(ns_ + other.ns_); }
+  constexpr Duration operator-(Duration other) const { return Duration(ns_ - other.ns_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(int64_t ns) : ns_(ns) {}
+
+  int64_t ns_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromNanos(int64_t ns) { return TimePoint(ns); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.nanos()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.nanos()); }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::Nanos(ns_ - other.ns_);
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  constexpr explicit TimePoint(int64_t ns) : ns_(ns) {}
+
+  int64_t ns_ = 0;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_SCHED_TIME_H_

@@ -1,0 +1,260 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace pfs {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), buckets_(buckets + 2, 0) {
+  PFS_CHECK(hi > lo);
+  PFS_CHECK(buckets > 0);
+}
+
+void Histogram::Record(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  size_t idx;
+  if (v < lo_) {
+    idx = 0;
+  } else if (v >= hi_) {
+    idx = buckets_.size() - 1;
+  } else {
+    idx = 1 + static_cast<size_t>((v - lo_) / width_);
+    idx = std::min(idx, buckets_.size() - 2);
+  }
+  ++buckets_[idx];
+}
+
+double Histogram::BucketLow(size_t i) const {
+  if (i == 0) {
+    return min_;
+  }
+  return lo_ + static_cast<double>(i - 1) * width_;
+}
+
+double Histogram::BucketHigh(size_t i) const {
+  if (i == 0) {
+    return lo_;
+  }
+  if (i == buckets_.size() - 1) {
+    return max_;
+  }
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      const double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return BucketLow(i) + within * (BucketHigh(i) - BucketLow(i));
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "count=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(), Percentile(0.50),
+                Percentile(0.95), Percentile(0.99), max());
+  return buf;
+}
+
+std::string Histogram::BucketDump() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "  [%10.3f, %10.3f): %llu\n", BucketLow(i), BucketHigh(i),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  PFS_CHECK(buckets_.size() == other.buckets_.size());
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+namespace {
+
+// Geometric buckets: 1 µs lower bound, ratio 2^(1/8) (~9% per step). 8 steps
+// per octave * ~27 octaves (1 µs .. ~134 s) = 216 buckets + overflow.
+constexpr int kStepsPerOctave = 8;
+constexpr int kOctaves = 27;
+constexpr size_t kLatencyBuckets = kStepsPerOctave * kOctaves + 1;
+constexpr double kBaseNs = 1000.0;  // 1 µs
+
+double LatencyBucketBoundNs(size_t i) {
+  return kBaseNs * std::exp2(static_cast<double>(i + 1) / kStepsPerOctave);
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kLatencyBuckets, 0) {}
+
+size_t LatencyHistogram::BucketFor(Duration d) const {
+  const double ns = static_cast<double>(std::max<int64_t>(d.nanos(), 0));
+  if (ns < kBaseNs) {
+    return 0;
+  }
+  const double octaves = std::log2(ns / kBaseNs);
+  const auto idx = static_cast<size_t>(octaves * kStepsPerOctave);
+  return std::min(idx, buckets_.size() - 1);
+}
+
+Duration LatencyHistogram::BucketHigh(size_t i) const {
+  if (i == buckets_.size() - 1) {
+    return max_;
+  }
+  return Duration::Nanos(static_cast<int64_t>(LatencyBucketBoundNs(i)));
+}
+
+void LatencyHistogram::Record(Duration d) {
+  if (count_ == 0) {
+    min_ = max_ = d;
+  } else {
+    min_ = std::min(min_, d);
+    max_ = std::max(max_, d);
+  }
+  ++count_;
+  sum_ns_ += d.nanos();
+  ++buckets_[BucketFor(d)];
+}
+
+Duration LatencyHistogram::mean() const {
+  if (count_ == 0) {
+    return Duration();
+  }
+  return Duration::Nanos(sum_ns_ / static_cast<int64_t>(count_));
+}
+
+Duration LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return Duration();
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(BucketHigh(i), max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::FractionBelow(Duration d) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const size_t limit = BucketFor(d);
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= limit && i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+  }
+  return static_cast<double>(seen) / static_cast<double>(count_);
+}
+
+std::vector<LatencyHistogram::CdfPoint> LatencyHistogram::Cdf() const {
+  std::vector<CdfPoint> points;
+  if (count_ == 0) {
+    return points;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    seen += buckets_[i];
+    points.push_back(CdfPoint{BucketHigh(i).ToMillisF(),
+                              static_cast<double>(seen) / static_cast<double>(count_)});
+  }
+  return points;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count_), mean().ToMillisF(),
+                Percentile(0.50).ToMillisF(), Percentile(0.95).ToMillisF(),
+                Percentile(0.99).ToMillisF(), max().ToMillisF());
+  return buf;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ns_ = 0;
+  min_ = Duration();
+  max_ = Duration();
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
+}  // namespace pfs

@@ -1,0 +1,108 @@
+// Measurement containers for the plug-in statistics objects (paper §4):
+// counters, linear histograms (disk queue lengths, rotational delays) and
+// geometric latency histograms that yield the cumulative-distribution curves
+// of Figures 2-4.
+#ifndef PFS_STATS_HISTOGRAM_H_
+#define PFS_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/time.h"
+
+namespace pfs {
+
+class Counter {
+ public:
+  void Inc(uint64_t k = 1) { value_ += k; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Linear-bucket histogram over doubles, with underflow/overflow buckets.
+// Used for queue depths, rotational delays, segment utilizations.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Record(double v);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Linear interpolation within the containing bucket; p in [0,1].
+  double Percentile(double p) const;
+
+  // "count=12 mean=3.4 p50=3 p95=8 max=11"
+  std::string Summary() const;
+
+  // Multi-line bucket dump (the paper's "with histograms" reporting mode).
+  std::string BucketDump() const;
+
+  void Reset();
+  void Merge(const Histogram& other);
+
+ private:
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> buckets_;  // [0]=underflow, [n+1]=overflow
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Geometric-bucket histogram over Durations: constant relative resolution
+// from 1 µs to ~100 s, so both a 300 µs cache hit and a 170 ms queueing delay
+// land in well-sized buckets. Produces the CDF series for Figures 2-4.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(Duration d);
+
+  uint64_t count() const { return count_; }
+  Duration mean() const;
+  Duration min() const { return count_ == 0 ? Duration() : min_; }
+  Duration max() const { return count_ == 0 ? Duration() : max_; }
+  Duration Percentile(double p) const;
+
+  // Fraction of samples <= d.
+  double FractionBelow(Duration d) const;
+
+  struct CdfPoint {
+    double millis;    // bucket upper bound
+    double fraction;  // cumulative fraction of samples <= bound
+  };
+  // Monotone CDF curve; empty buckets between occupied ones are skipped.
+  std::vector<CdfPoint> Cdf() const;
+
+  std::string Summary() const;
+
+  void Reset();
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  size_t BucketFor(Duration d) const;
+  Duration BucketHigh(size_t i) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ns_ = 0;
+  Duration min_;
+  Duration max_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_STATS_HISTOGRAM_H_

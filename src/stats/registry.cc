@@ -1,0 +1,25 @@
+#include "stats/registry.h"
+
+namespace pfs {
+
+std::string StatsRegistry::ReportAll(bool with_histograms) const {
+  std::string out;
+  for (const StatSource* source : sources_) {
+    out += "== ";
+    out += source->stat_name();
+    out += " ==\n";
+    out += source->StatReport(with_histograms);
+    if (!out.empty() && out.back() != '\n') {
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void StatsRegistry::ResetIntervalAll() {
+  for (StatSource* source : sources_) {
+    source->StatResetInterval();
+  }
+}
+
+}  // namespace pfs

@@ -1,0 +1,45 @@
+// StatsRegistry: the paper's plug-in statistics architecture (§4). Framework
+// components register named StatSources; the simulator activates the ones an
+// experiment asks for and prints their reports every 15 simulated minutes and
+// at the end of the run.
+#ifndef PFS_STATS_REGISTRY_H_
+#define PFS_STATS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+namespace pfs {
+
+class StatSource {
+ public:
+  virtual ~StatSource() = default;
+
+  virtual std::string stat_name() const = 0;
+
+  // One-paragraph report. `with_histograms` switches on the detailed bucket
+  // dumps (the paper's "standard statistics output with or without
+  // histograms").
+  virtual std::string StatReport(bool with_histograms) const = 0;
+
+  // Clears per-interval state after an interval report. Cumulative state may
+  // be kept; default is no-op.
+  virtual void StatResetInterval() {}
+};
+
+class StatsRegistry {
+ public:
+  // Registration is non-owning; sources must outlive the registry user.
+  void Register(StatSource* source) { sources_.push_back(source); }
+
+  std::string ReportAll(bool with_histograms) const;
+  void ResetIntervalAll();
+
+  const std::vector<StatSource*>& sources() const { return sources_; }
+
+ private:
+  std::vector<StatSource*> sources_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_STATS_REGISTRY_H_

@@ -1,0 +1,85 @@
+// File-system traces (paper §4, "Work loads and traces"): records of when an
+// operation took place (microseconds) and what it was. Two text dialects are
+// supported, mirroring the paper's two replayable trace families:
+//
+//   * Sprite-style: one record per line,
+//       <time_us> <client> <OP> <path> [<offset> <length>] [<path2>]
+//   * Coda-style: session-grouped,
+//       S <client> <time_us> <path>     (session open)
+//       - <OP> [<offset> <length>]      (ops within the session, may omit time)
+//       E <time_us>                     (session close)
+//
+// Records with time_us < 0 have unknown timing; the replayer synthesizes
+// them "positioned equidistant between the open and close" exactly as the
+// paper describes.
+#ifndef PFS_TRACE_TRACE_H_
+#define PFS_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+
+namespace pfs {
+
+enum class TraceOp : uint8_t {
+  kOpen,      // open existing or create (see `create`)
+  kClose,
+  kRead,      // offset/length
+  kWrite,     // offset/length
+  kStat,
+  kUnlink,
+  kTruncate,  // length = new size
+  kMkdir,
+  kRmdir,
+  kRename,    // path -> path2
+};
+
+const char* TraceOpName(TraceOp op);
+Result<TraceOp> TraceOpFromName(const std::string& name);
+
+struct TraceRecord {
+  int64_t time_us = 0;  // since trace start; < 0 = unknown (synthesized)
+  uint32_t client = 0;
+  TraceOp op = TraceOp::kStat;
+  std::string path;
+  std::string path2;    // rename target
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  bool create = false;  // open-with-create
+};
+
+// -- Sprite-style dialect --
+std::string EncodeSpriteRecord(const TraceRecord& record);
+Result<TraceRecord> DecodeSpriteRecord(const std::string& line);
+
+class SpriteTraceWriter {
+ public:
+  // Appends records to `path` (truncates on construction).
+  static Status WriteFile(const std::string& path, const std::vector<TraceRecord>& records);
+};
+
+class SpriteTraceReader {
+ public:
+  static Result<std::vector<TraceRecord>> ReadFile(const std::string& path);
+  static Result<std::vector<TraceRecord>> Parse(const std::string& text);
+};
+
+// -- Coda-style dialect --
+std::string EncodeCodaTrace(const std::vector<TraceRecord>& records);
+
+class CodaTraceReader {
+ public:
+  static Result<std::vector<TraceRecord>> ReadFile(const std::string& path);
+  static Result<std::vector<TraceRecord>> Parse(const std::string& text);
+};
+
+// Fills in unknown (< 0) read/write times by spacing them equidistantly
+// between the enclosing open and close records of the same client+path
+// (paper §4). Records are expected in generation order per client.
+void SynthesizeMissingTimes(std::vector<TraceRecord>* records);
+
+}  // namespace pfs
+
+#endif  // PFS_TRACE_TRACE_H_

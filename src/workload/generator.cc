@@ -1,0 +1,285 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/check.h"
+#include "core/random.h"
+#include "core/units.h"
+
+namespace pfs {
+namespace {
+
+std::string FilePath(uint32_t fs, uint32_t file_id) {
+  return "/fs" + std::to_string(fs) + "/f" + std::to_string(file_id);
+}
+
+// Per-generator view of which files exist and how big they are, so the
+// emitted trace is self-consistent (opens without create only reference
+// files created earlier in the trace).
+struct FilePopulation {
+  std::set<std::pair<uint32_t, uint32_t>> exists;
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> size;
+};
+
+}  // namespace
+
+WorkloadParams WorkloadParams::SpriteLike(const std::string& trace_name, double scale) {
+  WorkloadParams p;
+  p.duration = Duration::SecondsF(240.0 * scale);
+  p.clients = 12;
+  if (trace_name == "1a") {
+    p.seed = 101;
+    // Office/development: read-leaning with a strong overwrite component.
+  } else if (trace_name == "1b") {
+    // "During trace 1b there are many large and parallel write operations."
+    p.seed = 102;
+    p.clients = 16;
+    p.p_large_write = 0.10;
+    p.large_write_min_mb = 1.0;
+    p.large_write_max_mb = 3.0;
+    p.p_read_session = 0.30;
+    p.p_rewrite_session = 0.30;
+  } else if (trace_name == "2a") {
+    p.seed = 103;
+    p.ops_per_sec_per_client = 4.0;
+  } else if (trace_name == "2b") {
+    p.seed = 104;
+    p.p_rewrite_session = 0.35;
+    p.p_read_session = 0.35;
+  } else if (trace_name == "3a") {
+    p.seed = 105;
+    p.p_read_session = 0.65;
+    p.p_rewrite_session = 0.15;
+  } else if (trace_name == "5") {
+    // "During trace 5, many large writes enter the system while there are
+    // also a fair amount of stat and read operations."
+    p.seed = 106;
+    p.p_large_write = 0.06;
+    p.large_write_min_mb = 2.0;
+    p.large_write_max_mb = 4.0;
+    p.p_stat = 0.30;
+    p.p_read_session = 0.35;
+    p.p_rewrite_session = 0.15;
+  } else {
+    PFS_CHECK_MSG(false, "unknown Sprite-like trace name");
+  }
+  return p;
+}
+
+std::vector<TraceRecord> GenerateWorkload(const WorkloadParams& params) {
+  Rng master(params.seed);
+  ZipfDistribution fs_dist(params.num_filesystems, params.fs_zipf_theta);
+  ZipfDistribution file_dist(params.files_per_fs, params.file_zipf_theta);
+  FilePopulation population;
+  std::vector<TraceRecord> records;
+
+  const double mix_total = params.p_read_session + params.p_rewrite_session +
+                           params.p_append_session + params.p_stat + params.p_delete +
+                           params.p_truncate + params.p_large_write;
+  PFS_CHECK(mix_total > 0);
+  const uint64_t chunk = static_cast<uint64_t>(params.io_chunk_kb) * kKiB;
+
+  for (uint32_t client = 0; client < params.clients; ++client) {
+    Rng rng = master.Fork();
+    int64_t now_us = static_cast<int64_t>(rng.NextExponential(1e6));
+    const int64_t end_us = params.duration.micros();
+
+    while (now_us < end_us) {
+      const uint32_t fs = static_cast<uint32_t>(fs_dist.Sample(rng));
+      const uint32_t file_id = static_cast<uint32_t>(file_dist.Sample(rng)) +
+                               client * params.files_per_fs;  // client-local id space
+      const auto key = std::make_pair(fs, file_id);
+      const std::string path = FilePath(fs, file_id);
+      const bool exists = population.exists.contains(key);
+
+      double pick = rng.NextDouble() * mix_total;
+      auto take = [&pick](double p) {
+        if (pick < p) {
+          return true;
+        }
+        pick -= p;
+        return false;
+      };
+
+      auto emit = [&](TraceOp op, int64_t t, uint64_t offset, uint64_t length,
+                      bool create = false) {
+        TraceRecord r;
+        r.time_us = t;
+        r.client = client;
+        r.op = op;
+        r.path = path;
+        r.offset = offset;
+        r.length = length;
+        r.create = create;
+        records.push_back(std::move(r));
+      };
+
+      if (take(params.p_read_session)) {
+        if (exists) {
+          const uint64_t size = population.size[key];
+          const uint64_t span_us = 2000 + static_cast<uint64_t>(size / 100);  // dwell time
+          emit(TraceOp::kOpen, now_us, 0, 0);
+          for (uint64_t off = 0; off < size; off += chunk) {
+            emit(TraceOp::kRead, params.unknown_io_times ? -1 : now_us, off,
+                 std::min(chunk, size - off));
+          }
+          emit(TraceOp::kClose, now_us + static_cast<int64_t>(span_us), 0, 0);
+        }
+      } else if (take(params.p_rewrite_session)) {
+        // Whole-file overwrite from offset 0 — the die-young write pattern.
+        const uint64_t size = std::clamp<uint64_t>(
+            static_cast<uint64_t>(params.mean_file_kb * kKiB *
+                                  rng.NextLogNormal(0.0, params.file_sigma)),
+            1 * kKiB, 16 * kMiB);
+        const uint64_t span_us = 2000 + size / 50;
+        emit(TraceOp::kOpen, now_us, 0, 0, /*create=*/!exists);
+        for (uint64_t off = 0; off < size; off += chunk) {
+          emit(TraceOp::kWrite, params.unknown_io_times ? -1 : now_us, off,
+               std::min(chunk, size - off));
+        }
+        emit(TraceOp::kClose, now_us + static_cast<int64_t>(span_us), 0, 0);
+        population.exists.insert(key);
+        population.size[key] = size;
+      } else if (take(params.p_append_session)) {
+        if (exists) {
+          const uint64_t old_size = population.size[key];
+          const uint64_t add = chunk * (1 + rng.NextBelow(4));
+          const uint64_t span_us = 2000 + add / 50;
+          emit(TraceOp::kOpen, now_us, 0, 0);
+          for (uint64_t off = old_size; off < old_size + add; off += chunk) {
+            emit(TraceOp::kWrite, params.unknown_io_times ? -1 : now_us, off,
+                 std::min(chunk, old_size + add - off));
+          }
+          emit(TraceOp::kClose, now_us + static_cast<int64_t>(span_us), 0, 0);
+          population.size[key] = std::min<uint64_t>(old_size + add, 16 * kMiB);
+        }
+      } else if (take(params.p_stat)) {
+        if (exists) {
+          emit(TraceOp::kStat, now_us, 0, 0);
+        }
+      } else if (take(params.p_delete)) {
+        if (exists) {
+          emit(TraceOp::kUnlink, now_us, 0, 0);
+          population.exists.erase(key);
+          population.size.erase(key);
+        }
+      } else if (take(params.p_truncate)) {
+        if (exists && population.size[key] > chunk) {
+          const uint64_t new_size = population.size[key] / 2;
+          emit(TraceOp::kTruncate, now_us, 0, new_size);
+          population.size[key] = new_size;
+        }
+      } else if (params.p_large_write > 0) {
+        // Large sequential write of a fresh file.
+        const double mb = params.large_write_min_mb +
+                          rng.NextDouble() * (params.large_write_max_mb -
+                                              params.large_write_min_mb);
+        const uint64_t size = std::min<uint64_t>(
+            static_cast<uint64_t>(mb * static_cast<double>(kMiB)), 16 * kMiB);
+        const uint64_t span_us = 5000 + size / 20;
+        emit(TraceOp::kOpen, now_us, 0, 0, /*create=*/!exists);
+        for (uint64_t off = 0; off < size; off += chunk) {
+          emit(TraceOp::kWrite, params.unknown_io_times ? -1 : now_us, off,
+               std::min(chunk, size - off));
+        }
+        emit(TraceOp::kClose, now_us + static_cast<int64_t>(span_us), 0, 0);
+        population.exists.insert(key);
+        population.size[key] = size;
+      }
+
+      now_us += static_cast<int64_t>(
+          rng.NextExponential(1e6 / params.ops_per_sec_per_client));
+    }
+  }
+  return records;
+}
+
+std::vector<TraceRecord> GenerateBurstWorkload(const BurstWorkloadParams& params) {
+  Rng rng(params.seed);
+  std::vector<TraceRecord> records;
+  const uint64_t chunk = static_cast<uint64_t>(params.io_chunk_kb) * kKiB;
+
+  // Client 0: periodic write bursts of fresh files.
+  int64_t t = 1000000;
+  uint32_t burst_id = 0;
+  while (t < params.duration.micros()) {
+    TraceRecord open;
+    open.time_us = t;
+    open.client = 0;
+    open.op = TraceOp::kOpen;
+    open.path = "/fs0/burst" + std::to_string(burst_id);
+    open.create = true;
+    records.push_back(open);
+    for (uint64_t off = 0; off < params.burst_bytes; off += chunk) {
+      TraceRecord w;
+      w.time_us = -1;
+      w.client = 0;
+      w.op = TraceOp::kWrite;
+      w.path = open.path;
+      w.offset = off;
+      w.length = std::min(chunk, params.burst_bytes - off);
+      records.push_back(std::move(w));
+    }
+    TraceRecord close;
+    close.time_us = t + 500000;  // burst issued within half a second
+    close.client = 0;
+    close.op = TraceOp::kClose;
+    close.path = open.path;
+    records.push_back(close);
+    t += params.burst_interval.micros();
+    ++burst_id;
+  }
+
+  // Client 1: steady background read traffic over a small file set. Seed the
+  // files first so reads always hit existing data.
+  for (uint32_t i = 0; i < params.background_files; ++i) {
+    TraceRecord open;
+    open.time_us = static_cast<int64_t>(i) * 1000;
+    open.client = 1;
+    open.op = TraceOp::kOpen;
+    open.path = "/fs0/bg" + std::to_string(i);
+    open.create = true;
+    records.push_back(open);
+    TraceRecord w;
+    w.time_us = -1;
+    w.client = 1;
+    w.op = TraceOp::kWrite;
+    w.path = open.path;
+    w.offset = 0;
+    w.length = 16 * kKiB;
+    records.push_back(std::move(w));
+    TraceRecord close = open;
+    close.op = TraceOp::kClose;
+    close.create = false;
+    close.time_us = open.time_us + 900;
+    records.push_back(close);
+  }
+  int64_t rt = static_cast<int64_t>(params.background_files) * 1000 + 1000000;
+  while (rt < params.duration.micros()) {
+    const uint32_t file = static_cast<uint32_t>(rng.NextBelow(params.background_files));
+    TraceRecord open;
+    open.time_us = rt;
+    open.client = 1;
+    open.op = TraceOp::kOpen;
+    open.path = "/fs0/bg" + std::to_string(file);
+    records.push_back(open);
+    TraceRecord r;
+    r.time_us = -1;
+    r.client = 1;
+    r.op = TraceOp::kRead;
+    r.path = open.path;
+    r.offset = 0;
+    r.length = 16 * kKiB;
+    records.push_back(std::move(r));
+    TraceRecord close = open;
+    close.op = TraceOp::kClose;
+    close.time_us = rt + 2000;
+    records.push_back(close);
+    rt += static_cast<int64_t>(rng.NextExponential(1e6 / params.background_reads_per_sec));
+  }
+  return records;
+}
+
+}  // namespace pfs

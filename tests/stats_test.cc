@@ -1,0 +1,189 @@
+// Unit tests for src/stats: histograms, latency CDFs, registry.
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+
+namespace pfs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, MeanMinMax) {
+  Histogram h(0, 100, 10);
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Record(i + 0.5);
+  }
+  EXPECT_NEAR(h.Percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Percentile(0.95), 95.0, 1.5);
+  EXPECT_NEAR(h.Percentile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(h.Percentile(1.0), 100.0, 1.5);
+}
+
+TEST(HistogramTest, OutOfRangeGoesToOverflowBuckets) {
+  Histogram h(0, 10, 5);
+  h.Record(-5);
+  h.Record(50);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+  // Percentile extremes come from the overflow buckets' recorded bounds.
+  EXPECT_LE(h.Percentile(1.0), 50.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a(0, 10, 10);
+  Histogram b(0, 10, 10);
+  a.Record(1);
+  b.Record(9);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h(0, 10, 10);
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SummaryAndDumpNonEmpty) {
+  Histogram h(0, 10, 10);
+  h.Record(3);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+  EXPECT_FALSE(h.BucketDump().empty());
+}
+
+TEST(LatencyHistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(Duration::Millis(10));
+  h.Record(Duration::Millis(30));
+  EXPECT_EQ(h.mean(), Duration::Millis(20));
+  EXPECT_EQ(h.min(), Duration::Millis(10));
+  EXPECT_EQ(h.max(), Duration::Millis(30));
+}
+
+TEST(LatencyHistogramTest, PercentileWithinBucketResolution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(Duration::Micros(i * 100));  // 0.1ms .. 100ms uniform
+  }
+  // Geometric buckets have ~9% relative resolution.
+  const double p50 = h.Percentile(0.5).ToMillisF();
+  EXPECT_NEAR(p50, 50.0, 6.0);
+  const double p99 = h.Percentile(0.99).ToMillisF();
+  EXPECT_NEAR(p99, 99.0, 10.0);
+}
+
+TEST(LatencyHistogramTest, FractionBelow) {
+  LatencyHistogram h;
+  for (int i = 0; i < 80; ++i) {
+    h.Record(Duration::Micros(500));  // cache-hit-ish
+  }
+  for (int i = 0; i < 20; ++i) {
+    h.Record(Duration::Millis(17));  // full rotation
+  }
+  EXPECT_NEAR(h.FractionBelow(Duration::Millis(2)), 0.8, 0.02);
+  EXPECT_NEAR(h.FractionBelow(Duration::Millis(50)), 1.0, 0.001);
+}
+
+TEST(LatencyHistogramTest, CdfIsMonotone) {
+  LatencyHistogram h;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(Duration::Micros(static_cast<int64_t>(rng.NextExponential(8000.0)) + 100));
+  }
+  const auto cdf = h.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+    EXPECT_GT(cdf[i].millis, cdf[i - 1].millis);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondGoesToFirstBucket) {
+  LatencyHistogram h;
+  h.Record(Duration::Nanos(10));
+  h.Record(Duration());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.Percentile(1.0), Duration::Micros(3));
+}
+
+TEST(LatencyHistogramTest, MergeAndReset) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(Duration::Millis(1));
+  b.Record(Duration::Millis(3));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), Duration::Millis(2));
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+class FakeSource : public StatSource {
+ public:
+  explicit FakeSource(std::string name) : name_(std::move(name)) {}
+  std::string stat_name() const override { return name_; }
+  std::string StatReport(bool with_histograms) const override {
+    return with_histograms ? "detail" : "brief";
+  }
+  void StatResetInterval() override { ++resets; }
+
+  int resets = 0;
+
+ private:
+  std::string name_;
+};
+
+TEST(StatsRegistryTest, ReportsAllSources) {
+  StatsRegistry registry;
+  FakeSource a("cache");
+  FakeSource b("disk0");
+  registry.Register(&a);
+  registry.Register(&b);
+  const std::string brief = registry.ReportAll(false);
+  EXPECT_NE(brief.find("== cache =="), std::string::npos);
+  EXPECT_NE(brief.find("== disk0 =="), std::string::npos);
+  EXPECT_NE(brief.find("brief"), std::string::npos);
+  const std::string detail = registry.ReportAll(true);
+  EXPECT_NE(detail.find("detail"), std::string::npos);
+}
+
+TEST(StatsRegistryTest, ResetIntervalReachesAll) {
+  StatsRegistry registry;
+  FakeSource a("a");
+  FakeSource b("b");
+  registry.Register(&a);
+  registry.Register(&b);
+  registry.ResetIntervalAll();
+  EXPECT_EQ(a.resets, 1);
+  EXPECT_EQ(b.resets, 1);
+}
+
+}  // namespace
+}  // namespace pfs

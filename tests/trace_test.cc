@@ -1,0 +1,249 @@
+// Unit tests for src/trace and src/workload: formats, synthesis rule,
+// generator distributional properties.
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+#include "workload/generator.h"
+
+namespace pfs {
+namespace {
+
+TEST(TraceFormatTest, SpriteRecordRoundTrip) {
+  TraceRecord r;
+  r.time_us = 123456;
+  r.client = 3;
+  r.op = TraceOp::kWrite;
+  r.path = "/fs2/f17";
+  r.offset = 8192;
+  r.length = 4096;
+  const std::string line = EncodeSpriteRecord(r);
+  auto decoded = DecodeSpriteRecord(line);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->time_us, 123456);
+  EXPECT_EQ(decoded->client, 3u);
+  EXPECT_EQ(decoded->op, TraceOp::kWrite);
+  EXPECT_EQ(decoded->path, "/fs2/f17");
+  EXPECT_EQ(decoded->offset, 8192u);
+  EXPECT_EQ(decoded->length, 4096u);
+}
+
+TEST(TraceFormatTest, CreatVerbMarksCreate) {
+  TraceRecord r;
+  r.op = TraceOp::kOpen;
+  r.create = true;
+  r.path = "/fs0/new";
+  const std::string line = EncodeSpriteRecord(r);
+  EXPECT_NE(line.find("CREAT"), std::string::npos);
+  auto decoded = DecodeSpriteRecord(line);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->create);
+  EXPECT_EQ(decoded->op, TraceOp::kOpen);
+}
+
+TEST(TraceFormatTest, AllOpsRoundTrip) {
+  for (TraceOp op : {TraceOp::kOpen, TraceOp::kClose, TraceOp::kRead, TraceOp::kWrite,
+                     TraceOp::kStat, TraceOp::kUnlink, TraceOp::kTruncate, TraceOp::kMkdir,
+                     TraceOp::kRmdir, TraceOp::kRename}) {
+    TraceRecord r;
+    r.op = op;
+    r.path = "/fs0/x";
+    r.path2 = "/fs0/y";
+    r.length = 42;
+    auto decoded = DecodeSpriteRecord(EncodeSpriteRecord(r));
+    ASSERT_TRUE(decoded.ok()) << TraceOpName(op);
+    EXPECT_EQ(decoded->op, op);
+  }
+}
+
+TEST(TraceFormatTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeSpriteRecord("not a record").ok());
+  EXPECT_FALSE(DecodeSpriteRecord("1 2 FROB /x").ok());
+  EXPECT_FALSE(DecodeSpriteRecord("1 2 READ /x").ok());  // missing offset/length
+}
+
+TEST(TraceFormatTest, SpriteParseSkipsComments) {
+  auto records = SpriteTraceReader::Parse("# header\n0 1 STAT /fs0/a\n\n10 1 STAT /fs0/b\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
+TEST(TraceFormatTest, CodaRoundTrip) {
+  std::vector<TraceRecord> records;
+  TraceRecord open;
+  open.time_us = 0;
+  open.client = 1;
+  open.op = TraceOp::kOpen;
+  open.path = "/fs0/f";
+  open.create = true;
+  records.push_back(open);
+  TraceRecord read;
+  read.time_us = 50;
+  read.client = 1;
+  read.op = TraceOp::kRead;
+  read.path = "/fs0/f";
+  read.offset = 0;
+  read.length = 100;
+  records.push_back(read);
+  TraceRecord close;
+  close.time_us = 100;
+  close.client = 1;
+  close.op = TraceOp::kClose;
+  close.path = "/fs0/f";
+  records.push_back(close);
+
+  auto decoded = CodaTraceReader::Parse(EncodeCodaTrace(records));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].op, TraceOp::kOpen);
+  EXPECT_TRUE((*decoded)[0].create);
+  EXPECT_EQ((*decoded)[1].op, TraceOp::kRead);
+  EXPECT_EQ((*decoded)[1].length, 100u);
+  EXPECT_EQ((*decoded)[2].op, TraceOp::kClose);
+}
+
+TEST(TraceFormatTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/pfs_trace_test.txt";
+  std::vector<TraceRecord> records;
+  TraceRecord r;
+  r.time_us = 5;
+  r.client = 2;
+  r.op = TraceOp::kStat;
+  r.path = "/fs1/file";
+  records.push_back(r);
+  ASSERT_TRUE(SpriteTraceWriter::WriteFile(path, records).ok());
+  auto read_back = SpriteTraceReader::ReadFile(path);
+  ASSERT_TRUE(read_back.ok());
+  ASSERT_EQ(read_back->size(), 1u);
+  EXPECT_EQ((*read_back)[0].path, "/fs1/file");
+  std::remove(path.c_str());
+}
+
+TEST(SynthesisTest, EquidistantPlacementBetweenOpenAndClose) {
+  // Paper §4: "the operations are positioned equidistant between the open
+  // and close operation".
+  std::vector<TraceRecord> records;
+  TraceRecord open;
+  open.time_us = 1000;
+  open.client = 1;
+  open.op = TraceOp::kOpen;
+  open.path = "/fs0/f";
+  records.push_back(open);
+  for (int i = 0; i < 3; ++i) {
+    TraceRecord r;
+    r.time_us = -1;
+    r.client = 1;
+    r.op = TraceOp::kRead;
+    r.path = "/fs0/f";
+    records.push_back(r);
+  }
+  TraceRecord close = open;
+  close.op = TraceOp::kClose;
+  close.time_us = 5000;
+  records.push_back(close);
+
+  SynthesizeMissingTimes(&records);
+  EXPECT_EQ(records[1].time_us, 2000);
+  EXPECT_EQ(records[2].time_us, 3000);
+  EXPECT_EQ(records[3].time_us, 4000);
+}
+
+TEST(SynthesisTest, OrphanUnknownTimesClampToZero) {
+  std::vector<TraceRecord> records;
+  TraceRecord r;
+  r.time_us = -1;
+  r.client = 1;
+  r.op = TraceOp::kRead;
+  r.path = "/fs0/f";
+  records.push_back(r);
+  SynthesizeMissingTimes(&records);
+  EXPECT_EQ(records[0].time_us, 0);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  WorkloadParams params = WorkloadParams::SpriteLike("1a", 0.05);
+  const auto a = GenerateWorkload(params);
+  const auto b = GenerateWorkload(params);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_us, b[i].time_us);
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(static_cast<int>(a[i].op), static_cast<int>(b[i].op));
+  }
+}
+
+TEST(GeneratorTest, SelfConsistentOpens) {
+  // Every OPEN without create must reference a file created earlier by the
+  // same generator run.
+  const auto records = GenerateWorkload(WorkloadParams::SpriteLike("1a", 0.1));
+  std::set<std::string> created;
+  for (const TraceRecord& r : records) {
+    if (r.op == TraceOp::kOpen) {
+      if (r.create) {
+        created.insert(r.path);
+      } else {
+        EXPECT_TRUE(created.contains(r.path)) << r.path;
+      }
+    } else if (r.op == TraceOp::kUnlink) {
+      created.erase(r.path);
+    }
+  }
+}
+
+TEST(GeneratorTest, HotFilesystemsEmerge) {
+  const auto records = GenerateWorkload(WorkloadParams::SpriteLike("1a", 0.2));
+  std::map<std::string, int> per_fs;
+  for (const TraceRecord& r : records) {
+    per_fs[r.path.substr(0, r.path.find('/', 1))]++;
+  }
+  // The two hottest file systems must dominate (the paper's two hot spots).
+  std::vector<int> counts;
+  for (const auto& [fs, count] : per_fs) {
+    counts.push_back(count);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  ASSERT_GE(counts.size(), 3u);
+  int total = 0;
+  for (int c : counts) {
+    total += c;
+  }
+  EXPECT_GT(counts[0] + counts[1], total / 3);
+}
+
+TEST(GeneratorTest, TraceProfilesDiffer) {
+  const auto t1b = GenerateWorkload(WorkloadParams::SpriteLike("1b", 0.1));
+  const auto t3a = GenerateWorkload(WorkloadParams::SpriteLike("3a", 0.1));
+  auto write_bytes = [](const std::vector<TraceRecord>& records) {
+    uint64_t bytes = 0;
+    for (const auto& r : records) {
+      if (r.op == TraceOp::kWrite) {
+        bytes += r.length;
+      }
+    }
+    return bytes;
+  };
+  // 1b (parallel large writes) must write far more than 3a (read-heavy).
+  EXPECT_GT(write_bytes(t1b), 2 * write_bytes(t3a));
+}
+
+TEST(GeneratorTest, BurstWorkloadShape) {
+  BurstWorkloadParams params;
+  params.duration = Duration::Seconds(60);
+  const auto records = GenerateBurstWorkload(params);
+  ASSERT_FALSE(records.empty());
+  uint64_t burst_bytes = 0;
+  int bursts = 0;
+  for (const auto& r : records) {
+    if (r.client == 0 && r.op == TraceOp::kWrite) {
+      burst_bytes += r.length;
+    }
+    if (r.client == 0 && r.op == TraceOp::kOpen) {
+      ++bursts;
+    }
+  }
+  EXPECT_GE(bursts, 5);  // one burst per 10 s over 60 s
+  EXPECT_EQ(burst_bytes, static_cast<uint64_t>(bursts) * params.burst_bytes);
+}
+
+}  // namespace
+}  // namespace pfs
