@@ -44,7 +44,7 @@ inline std::vector<PolicyRun> PaperPolicies() {
 }
 
 inline PatsyConfig PaperConfig(const std::string& flush_policy) {
-  PatsyConfig config;  // Allspice defaults: 3 busses, 10 disks, 14 LFS
+  PatsyConfig config = SystemConfig::AllspiceSim();  // 3 busses, 10 disks, 14 LFS
   config.flush_policy = flush_policy;
   return config;
 }

@@ -32,12 +32,7 @@ Result<double> RunOnline(const std::string& policy, std::vector<TraceRecord> rec
   config.cache_bytes = 8 * kMiB;
   PFS_ASSIGN_OR_RETURN(auto server, PfsServer::Start(config));
 
-  // Rewrite mount prefix /fs0 -> /pfs.
-  for (TraceRecord& r : records) {
-    if (r.path.rfind("/fs0", 0) == 0) {
-      r.path = "/pfs" + r.path.substr(4);
-    }
-  }
+  // Both instantiations mount /fs0; the trace replays verbatim.
   double mean_ms = 0;
   const Status status =
       server->Submit([&records, &mean_ms](ClientInterface* c) -> Task<Status> {
@@ -109,7 +104,7 @@ Result<double> RunOnline(const std::string& policy, std::vector<TraceRecord> rec
   const Status probe_status = server->Submit([&probe](ClientInterface* c) -> Task<Status> {
     OpenOptions create;
     create.create = true;
-    auto fd = co_await c->Open("/pfs/probe", create);
+    auto fd = co_await c->Open("/fs0/probe", create);
     PFS_CO_RETURN_IF_ERROR(fd.status());
     std::vector<std::byte> buf(8192);
     for (int i = 0; i < 200; ++i) {

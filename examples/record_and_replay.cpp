@@ -1,6 +1,8 @@
-// Record-and-replay: the symbiosis the paper is named for. Run the on-line
-// PFS (real clock, file-backed disk, real bytes) with trace recording, then
-// replay the recorded trace in Patsy — the same code path, off-line.
+// Record-and-replay: the symbiosis the paper is named for, driven by ONE
+// system description. The same SystemConfig value instantiates the on-line
+// PFS (real clock, file-backed disk, real bytes) with trace recording, and
+// then — with only the backend flipped — the Patsy simulator that replays
+// the recorded trace through the identical component stack.
 //
 //   ./record_and_replay
 #include <cstdio>
@@ -14,12 +16,16 @@ int main() {
   const std::string image = "/tmp/pfs_example.img";
   std::remove(image.c_str());
 
-  // 1. The on-line system, recording.
-  PfsServerConfig config;
-  config.image_path = image;
-  config.image_bytes = 32 * kMiB;
-  config.record_trace = true;
-  auto server_or = PfsServer::Start(config);
+  // The shared description: one disk, one LFS file system, a small cache.
+  SystemConfig shared = SystemConfig::OnlineDefaults();
+  shared.image_path = image;
+  shared.image_bytes = 32 * kMiB;
+  shared.cache_bytes = 8 * kMiB;
+
+  // 1. The on-line instantiation, recording.
+  PfsServerConfig online(shared);
+  online.record_trace = true;
+  auto server_or = PfsServer::Start(online);
   if (!server_or.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", server_or.status().ToString().c_str());
     return 1;
@@ -30,9 +36,9 @@ int main() {
   const Status status = server->Submit([](ClientInterface* c) -> Task<Status> {
     OpenOptions create;
     create.create = true;
-    PFS_CO_RETURN_IF_ERROR(co_await c->Mkdir("/pfs/src"));
+    PFS_CO_RETURN_IF_ERROR(co_await c->Mkdir("/fs0/src"));
     for (int i = 0; i < 8; ++i) {
-      auto fd = co_await c->Open("/pfs/src/file" + std::to_string(i), create);
+      auto fd = co_await c->Open("/fs0/src/file" + std::to_string(i), create);
       PFS_CO_RETURN_IF_ERROR(fd.status());
       std::vector<std::byte> data(16 * kKiB, std::byte{static_cast<uint8_t>(i)});
       auto wrote = co_await c->Write(*fd, 0, data.size(), data);
@@ -42,8 +48,8 @@ int main() {
       PFS_CO_RETURN_IF_ERROR(co_await c->Close(*fd));
     }
     // Edit-compile-delete churn: the write-saving policies feast on this.
-    PFS_CO_RETURN_IF_ERROR(co_await c->Unlink("/pfs/src/file0"));
-    PFS_CO_RETURN_IF_ERROR(co_await c->Unlink("/pfs/src/file1"));
+    PFS_CO_RETURN_IF_ERROR(co_await c->Unlink("/fs0/src/file0"));
+    PFS_CO_RETURN_IF_ERROR(co_await c->Unlink("/fs0/src/file1"));
     co_return OkStatus();
   });
   if (!status.ok()) {
@@ -54,14 +60,11 @@ int main() {
   (void)server->Stop();
   std::printf("recorded %zu trace records from live operation\n", trace.size());
 
-  // 2. Replay the recorded trace in the simulator (remap /pfs -> /fs0).
-  for (TraceRecord& r : trace) {
-    r.path = "/fs0" + r.path.substr(4);
-  }
-  PatsyConfig sim;
-  sim.disks_per_bus = {1};
-  sim.num_filesystems = 1;
-  sim.flush_policy = "ups";
+  // 2. Replay in the simulator: the SAME config, backend flipped. Both
+  // instantiations mount /fs0, so the trace replays without path rewriting.
+  SystemConfig sim = shared;
+  sim.backend = BackendKind::kSimulated;
+  sim.flush_policy = "ups";  // what-if: would write-saving have helped?
   auto result = RunTraceSimulation(sim, std::move(trace));
   if (!result.ok()) {
     std::fprintf(stderr, "replay failed: %s\n", result.status().ToString().c_str());

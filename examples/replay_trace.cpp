@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   std::printf("trace %s: %zu records in %s\n", trace_name.c_str(), records->size(),
               path.c_str());
 
-  PatsyConfig config;  // the Allspice rebuild
+  PatsyConfig config = SystemConfig::AllspiceSim();  // the Allspice rebuild
   config.flush_policy = "write-delay";
   auto result = RunTraceSimulation(config, std::move(*records));
   if (!result.ok()) {

@@ -20,7 +20,7 @@ Result<std::unique_ptr<FileBackedDriver>> FileBackedDriver::Create(
     return Status(ErrorCode::kIoError, "ftruncate " + path + ": " + std::strerror(errno));
   }
   auto driver = std::unique_ptr<FileBackedDriver>(
-      new FileBackedDriver(sched, std::move(name), fd, size_bytes / 512, executor, policy));
+      new FileBackedDriver(sched, std::move(name), fd, size_bytes / kSectorBytes, executor, policy));
   return driver;
 }
 
@@ -34,8 +34,8 @@ Task<> FileBackedDriver::Dispatch(IoRequest* req) {
   Scheduler* s = sched();
   s->BeginExternalOp();
   executor_->Execute([this, s, req] {
-    const off_t offset = static_cast<off_t>(req->sector) * 512;
-    const size_t bytes = static_cast<size_t>(req->sector_count) * 512;
+    const off_t offset = static_cast<off_t>(req->sector) * kSectorBytes;
+    const size_t bytes = static_cast<size_t>(req->sector_count) * kSectorBytes;
     Status status;
     if (req->op == IoOp::kRead) {
       PFS_CHECK_MSG(req->read_buf.size() >= bytes, "read buffer too small");

@@ -16,6 +16,9 @@ namespace pfs {
 
 class FileBackedDriver final : public QueueingDiskDriver {
  public:
+  // The sector size the backing file is addressed in.
+  static constexpr uint32_t kSectorBytes = 512;
+
   // Opens (creating and sizing if needed) `path` as the backing store.
   static Result<std::unique_ptr<FileBackedDriver>> Create(
       Scheduler* sched, std::string name, const std::string& path, uint64_t size_bytes,
@@ -24,7 +27,7 @@ class FileBackedDriver final : public QueueingDiskDriver {
   ~FileBackedDriver() override;
 
   uint64_t total_sectors() const override { return total_sectors_; }
-  uint32_t sector_bytes() const override { return 512; }
+  uint32_t sector_bytes() const override { return kSectorBytes; }
 
  protected:
   Task<> Dispatch(IoRequest* req) override;

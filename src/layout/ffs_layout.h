@@ -39,6 +39,12 @@ class FfsLayout final : public StorageLayout, public StatSource {
  public:
   FfsLayout(Scheduler* sched, BlockDev dev, FfsConfig config);
 
+  // The smallest partition (in blocks) that yields at least one cylinder
+  // group: the superblock plus one full group.
+  static uint64_t MinPartitionBlocks(const FfsConfig& config) {
+    return 1 + config.blocks_per_group;
+  }
+
   const char* layout_name() const override { return "ffs"; }
   uint32_t fs_id() const override { return config_.fs_id; }
   uint32_t block_size() const override { return config_.block_size; }

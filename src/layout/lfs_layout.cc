@@ -12,6 +12,18 @@ constexpr uint64_t kSuperMagic = 0x5046535355505231ULL;  // "PFSSUPR1"
 constexpr uint64_t kCkptMagic = 0x504653434b505431ULL;   // "PFSCKPT1"
 constexpr uint32_t kVersion = 1;
 
+// Serialized checkpoint-region size for a partition with `est_segments`
+// segments — the single source of truth for the constructor's geometry and
+// for MinPartitionBlocks.
+uint64_t CheckpointBlocksFor(const LfsConfig& config, uint64_t est_segments) {
+  const uint64_t header_bytes = 96;
+  const uint64_t imap_bytes = static_cast<uint64_t>(config.max_inodes) * 8;
+  const uint64_t usage_bytes = est_segments * 13;
+  const uint64_t summary_bytes = static_cast<uint64_t>(config.segment_blocks) * 17 + 4;
+  return CeilDiv(header_bytes + imap_bytes + usage_bytes + summary_bytes,
+                 config.block_size);
+}
+
 }  // namespace
 
 LfsLayout::LfsLayout(Scheduler* sched, BlockDev dev, LfsConfig config,
@@ -29,13 +41,8 @@ LfsLayout::LfsLayout(Scheduler* sched, BlockDev dev, LfsConfig config,
 
   // Geometry. The checkpoint region is sized from an upper bound on the
   // segment count, so Format and Mount always agree.
-  const uint64_t est_segments = dev_.nblocks() / config_.segment_blocks;
-  const uint64_t header_bytes = 96;
-  const uint64_t imap_bytes = static_cast<uint64_t>(config_.max_inodes) * 8;
-  const uint64_t usage_bytes = est_segments * 13;
-  const uint64_t summary_bytes = static_cast<uint64_t>(config_.segment_blocks) * 17 + 4;
   geo_.checkpoint_blocks =
-      CeilDiv(header_bytes + imap_bytes + usage_bytes + summary_bytes, config_.block_size);
+      CheckpointBlocksFor(config_, dev_.nblocks() / config_.segment_blocks);
   geo_.first_segment_block = 1 + 2 * geo_.checkpoint_blocks;
   PFS_CHECK_MSG(dev_.nblocks() > geo_.first_segment_block + 2 * config_.segment_blocks,
                 "partition too small for LFS");
@@ -45,6 +52,17 @@ LfsLayout::LfsLayout(Scheduler* sched, BlockDev dev, LfsConfig config,
 }
 
 LfsLayout::~LfsLayout() = default;
+
+uint64_t LfsLayout::MinPartitionBlocks(const LfsConfig& config, uint32_t min_segments) {
+  // The checkpoint size depends on the partition size through the estimated
+  // segment count; two fixed-point rounds converge for any realistic config.
+  uint64_t nblocks = static_cast<uint64_t>(min_segments) * config.segment_blocks;
+  for (int i = 0; i < 2; ++i) {
+    const uint64_t ckpt = CheckpointBlocksFor(config, nblocks / config.segment_blocks);
+    nblocks = 1 + 2 * ckpt + static_cast<uint64_t>(min_segments) * config.segment_blocks;
+  }
+  return nblocks;
+}
 
 uint64_t LfsLayout::SegmentOf(uint64_t addr) const {
   PFS_CHECK(addr >= geo_.first_segment_block);

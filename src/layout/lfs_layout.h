@@ -60,6 +60,11 @@ class LfsLayout final : public StorageLayout, public StatSource {
             std::unique_ptr<CleanerPolicy> cleaner_policy);
   ~LfsLayout() override;
 
+  // The smallest partition (in blocks) this layout can be formatted in with
+  // `min_segments` of log, computed from the same serialized-geometry sizes
+  // the constructor uses. Topology validation calls this before building.
+  static uint64_t MinPartitionBlocks(const LfsConfig& config, uint32_t min_segments = 16);
+
   // StorageLayout
   const char* layout_name() const override { return "lfs"; }
   uint32_t fs_id() const override { return config_.fs_id; }
@@ -83,7 +88,7 @@ class LfsLayout final : public StorageLayout, public StatSource {
   uint64_t FreeBlocksEstimate() const override;
 
   // Spawns the cleaner daemon (after Format/Mount, if enabled).
-  void Start();
+  void Start() override;
 
   // StatSource
   std::string stat_name() const override;

@@ -30,6 +30,9 @@ class StorageLayout {
   virtual uint32_t block_size() const = 0;
 
   // -- lifecycle --
+  // Spawns the layout's daemon threads (log cleaner, ...), once the layout
+  // is formatted or mounted. Default: the layout has none.
+  virtual void Start() {}
   virtual Task<Status> Format() = 0;
   virtual Task<Status> Mount() = 0;
   virtual Task<Status> Unmount() = 0;  // Sync + checkpoint metadata

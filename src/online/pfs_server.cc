@@ -4,68 +4,33 @@ namespace pfs {
 
 Result<std::unique_ptr<PfsServer>> PfsServer::Start(const PfsServerConfig& config) {
   auto server = std::unique_ptr<PfsServer>(new PfsServer());
-  server->config_ = config;
-  server->sched_ = Scheduler::CreateReal(config.seed);
-  server->executor_ = std::make_unique<IoExecutor>(2);
 
-  PFS_ASSIGN_OR_RETURN(server->driver_,
-                       FileBackedDriver::Create(server->sched_.get(), "pfs0",
-                                                config.image_path, config.image_bytes,
-                                                server->executor_.get()));
-  server->driver_->Start();
-
-  LfsConfig lfs;
-  lfs.fs_id = 0;
-  lfs.segment_blocks = config.lfs_segment_blocks;
-  lfs.max_inodes = config.max_inodes;
-  lfs.materialize_metadata = true;  // the real system round-trips its metadata
-  server->layout_ = std::make_unique<LfsLayout>(
-      server->sched_.get(),
-      BlockDev(server->driver_.get(), kDefaultBlockSize, 0,
-               config.image_bytes / kDefaultBlockSize),
-      lfs, MakeCleanerPolicy(config.cleaner));
-
-  BufferCache::Config cache_config;
-  cache_config.capacity_bytes = config.cache_bytes;
-  cache_config.allocate_memory = true;  // a real cache holds real bytes
-  cache_config.async_flush = true;
-  server->cache_ = std::make_unique<BufferCache>(
-      server->sched_.get(), cache_config, MakeReplacementPolicy(config.replacement),
-      MakeFlushPolicy(config.flush_policy));
-  server->mover_ = std::make_unique<RealDataMover>();
-  server->fs_ = std::make_unique<FileSystem>(server->sched_.get(), server->layout_.get(),
-                                             server->cache_.get(), server->mover_.get());
-  server->client_ = std::make_unique<LocalClient>(server->sched_.get());
-  server->client_->AddMount("pfs", server->fs_.get());
+  // The on-line server serves wall-clock time; kAuto resolves to real here
+  // (the simulator facade resolves it to virtual).
+  SystemConfig system_config = config;
+  if (system_config.clock == ClockKind::kAuto) {
+    system_config.clock = ClockKind::kReal;
+  }
+  PFS_ASSIGN_OR_RETURN(server->system_, SystemBuilder::Build(system_config));
 
   // Format or mount on the scheduler before the loop goes live.
-  Status setup(ErrorCode::kAborted);
-  server->sched_->Spawn("pfs.setup", [](PfsServer* s, Status* out) -> Task<> {
-    if (s->config_.format) {
-      *out = co_await s->layout_->Format();
-    } else {
-      *out = co_await s->layout_->Mount();
-    }
-  }(server.get(), &setup));
-  server->sched_->Run();  // returns when the setup thread finishes
-  PFS_RETURN_IF_ERROR(setup);
-  server->sched_->set_keep_alive(true);  // from here on, Run() serves forever
-  server->cache_->Start();
-  server->layout_->Start();
+  PFS_RETURN_IF_ERROR(server->system_->Setup());
+  Scheduler* sched = server->system_->scheduler();
+  sched->set_keep_alive(true);  // from here on, Run() serves forever
 
   if (config.record_trace) {
-    server->recording_ = std::make_unique<RecordingClient>(server->sched_.get(),
-                                                           server->client_.get());
+    server->recording_ =
+        std::make_unique<RecordingClient>(sched, server->system_->client());
   }
 
   // NFS-style front end over the loopback transport.
-  server->loopback_ = std::make_unique<NfsLoopback>(server->sched_.get(), 64);
-  server->nfs_ = std::make_unique<NfsServer>(server->sched_.get(), server->client(),
+  server->loopback_ = std::make_unique<NfsLoopback>(sched, 64);
+  server->nfs_ = std::make_unique<NfsServer>(sched, server->client(),
                                              server->loopback_.get(), config.nfs_workers);
   server->nfs_->Start();
 
   // The on-line service loop.
-  server->server_thread_ = std::thread([sched = server->sched_.get()] { sched->Run(); });
+  server->server_thread_ = std::thread([sched] { sched->Run(); });
   return server;
 }
 
@@ -82,7 +47,7 @@ Status PfsServer::Stop() {
   const Status sync = Submit([](ClientInterface* c) -> Task<Status> {
     co_return co_await c->SyncAll();
   });
-  sched_->RequestStop();
+  system_->scheduler()->RequestStop();
   if (server_thread_.joinable()) {
     server_thread_.join();
   }
@@ -90,14 +55,17 @@ Status PfsServer::Stop() {
 }
 
 PfsServer::~PfsServer() {
-  if (!stopped_) {
+  if (system_ == nullptr) {
+    return;  // Start() failed before the stack was assembled
+  }
+  if (!stopped_ && server_thread_.joinable()) {
     (void)Stop();
   }
   // The loop has stopped; release suspended frames (NFS workers, daemons)
-  // before the components they reference are destroyed.
-  if (sched_ != nullptr) {
-    sched_->DestroyAllThreads();
-  }
+  // while the components they reference — including the front end — are
+  // still alive. System's own destructor would run too late for the NFS
+  // members declared after it.
+  system_->scheduler()->DestroyAllThreads();
 }
 
 }  // namespace pfs

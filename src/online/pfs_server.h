@@ -1,9 +1,12 @@
 // PFS: the on-line instantiation (paper §3) — the same framework components
-// bound to a real clock, real memory in the cache, and a file-backed disk
-// driver, fronted by the NFS-style interface. The scheduler runs on a
-// dedicated OS thread; other OS threads submit work with Submit(), which
-// posts a closure and blocks on a promise — the external-event integration
-// the paper describes for the real system.
+// bound to a real clock, real memory in the cache, and file-backed disk
+// drivers, fronted by the NFS-style interface. The stack itself is assembled
+// by SystemBuilder from the shared SystemConfig, so the on-line server
+// supports every topology the simulator does (multiple disks, multiple file
+// systems, any storage layout). The scheduler runs on a dedicated OS thread;
+// other OS threads submit work with Submit(), which posts a closure and
+// blocks on a promise — the external-event integration the paper describes
+// for the real system.
 #ifndef PFS_ONLINE_PFS_SERVER_H_
 #define PFS_ONLINE_PFS_SERVER_H_
 
@@ -13,30 +16,25 @@
 #include <thread>
 #include <vector>
 
-#include "cache/buffer_cache.h"
-#include "cache/data_mover.h"
-#include "client/local_client.h"
-#include "driver/file_backed_driver.h"
-#include "driver/io_executor.h"
-#include "layout/lfs_layout.h"
 #include "nfs/nfs.h"
 #include "online/recording_client.h"
+#include "system/system_builder.h"
 
 namespace pfs {
 
-struct PfsServerConfig {
-  std::string image_path;               // backing Unix file (the "raw device")
-  uint64_t image_bytes = 64 * kMiB;
-  bool format = true;                   // format vs mount an existing image
-  uint64_t cache_bytes = 8 * kMiB;
-  std::string flush_policy = "write-delay";
-  std::string replacement = "LRU";
-  std::string cleaner = "greedy";
-  uint32_t lfs_segment_blocks = 64;
-  uint32_t max_inodes = 4096;
-  bool record_trace = false;            // wrap the client in a RecordingClient
+// The on-line server's description: the shared SystemConfig (defaulted to
+// one file-backed disk with one LFS file system) plus the front-end knobs
+// that only exist on-line.
+struct PfsServerConfig : SystemConfig {
+  PfsServerConfig() : SystemConfig(SystemConfig::OnlineDefaults()) {}
+  // Adopts a shared system description (e.g. one also used for a Patsy
+  // replay), switching it to the file-backed backend.
+  explicit PfsServerConfig(const SystemConfig& system) : SystemConfig(system) {
+    backend = BackendKind::kFileBacked;
+  }
+
+  bool record_trace = false;  // wrap the client in a RecordingClient
   int nfs_workers = 4;
-  uint64_t seed = 1;
 };
 
 class PfsServer {
@@ -56,19 +54,24 @@ class PfsServer {
   Status Submit(Fn fn) {
     std::promise<Status> promise;
     std::future<Status> future = promise.get_future();
-    sched_->Post([this, fn = std::move(fn), &promise]() mutable {
-      sched_->Spawn("pfs.request", RunAndFulfill(std::move(fn), &promise));
+    Scheduler* sched = system_->scheduler();
+    sched->Post([this, sched, fn = std::move(fn), &promise]() mutable {
+      sched->Spawn("pfs.request", RunAndFulfill(std::move(fn), &promise));
     });
     return future.get();
   }
 
   // The mounted client interface (recording wrapper if configured). Only
   // touch it from coroutines running on the server's scheduler.
-  ClientInterface* client() { return recording_ ? static_cast<ClientInterface*>(recording_.get())
-                                                : client_.get(); }
-  Scheduler* scheduler() { return sched_.get(); }
-  BufferCache* cache() { return cache_.get(); }
-  LfsLayout* layout() { return layout_.get(); }
+  ClientInterface* client() {
+    return recording_ ? static_cast<ClientInterface*>(recording_.get())
+                      : static_cast<ClientInterface*>(system_->client());
+  }
+  System& system() { return *system_; }
+  Scheduler* scheduler() { return system_->scheduler(); }
+  BufferCache* cache() { return system_->cache(); }
+  int filesystem_count() const { return system_->filesystem_count(); }
+  StorageLayout* layout(int fs_index = 0) { return system_->layout(fs_index); }
 
   // Recorded trace (if record_trace was set); safe after Stop().
   std::vector<TraceRecord> TakeRecordedTrace();
@@ -85,15 +88,9 @@ class PfsServer {
     promise->set_value(status);
   }
 
-  PfsServerConfig config_;
-  std::unique_ptr<Scheduler> sched_;
-  std::unique_ptr<IoExecutor> executor_;
-  std::unique_ptr<FileBackedDriver> driver_;
-  std::unique_ptr<LfsLayout> layout_;
-  std::unique_ptr<BufferCache> cache_;
-  std::unique_ptr<RealDataMover> mover_;
-  std::unique_ptr<FileSystem> fs_;
-  std::unique_ptr<LocalClient> client_;
+  // The resolved configuration lives in system().config(); the front-end
+  // knobs (record_trace, nfs_workers) are only needed inside Start().
+  std::unique_ptr<System> system_;
   std::unique_ptr<RecordingClient> recording_;
   std::unique_ptr<NfsLoopback> loopback_;
   std::unique_ptr<NfsServer> nfs_;

@@ -1,154 +1,24 @@
 #include "patsy/patsy.h"
 
-#include <algorithm>
-
-#include "core/log.h"
+#include <cstdio>
 
 namespace pfs {
-namespace {
 
-std::unique_ptr<FlushPolicy> MakeConfiguredFlushPolicy(const PatsyConfig& config) {
-  if (config.flush_policy == "write-delay") {
-    return std::make_unique<WriteDelayPolicy>();
-  }
-  if (config.flush_policy == "ups") {
-    return std::make_unique<UpsPolicy>();
-  }
-  if (config.flush_policy == "nvram-whole") {
-    return std::make_unique<NvramPolicy>(NvramPolicy::Options{config.nvram_bytes, true});
-  }
-  if (config.flush_policy == "nvram-partial") {
-    return std::make_unique<NvramPolicy>(NvramPolicy::Options{config.nvram_bytes, false});
-  }
-  PFS_CHECK_MSG(false, "unknown flush policy in PatsyConfig");
-  return nullptr;
-}
-
-}  // namespace
-
-PatsyServer::PatsyServer(const PatsyConfig& config) : config_(config) {
-  sched_ = Scheduler::CreateVirtual(config.seed);
-
-  // Busses and disks (paper: 3 SCSI busses, 10 HP97560 disks).
-  int disk_index = 0;
-  for (size_t b = 0; b < config.disks_per_bus.size(); ++b) {
-    auto bus = std::make_unique<ScsiBus>(sched_.get(), "scsi" + std::to_string(b));
-    for (int d = 0; d < config.disks_per_bus[b]; ++d) {
-      auto disk = std::make_unique<DiskModel>(sched_.get(), "d" + std::to_string(disk_index),
-                                              config.disk_params, bus.get());
-      disk->Start();
-      auto driver = std::make_unique<SimDiskDriver>(
-          sched_.get(), "d" + std::to_string(disk_index), disk.get(), bus.get(),
-          config.queue_policy);
-      driver->Start();
-      stats_.Register(disk.get());
-      stats_.Register(driver.get());
-      disks_.push_back(std::move(disk));
-      drivers_.push_back(std::move(driver));
-      ++disk_index;
-    }
-    stats_.Register(bus.get());
-    busses_.push_back(std::move(bus));
-  }
-  PFS_CHECK_MSG(!disks_.empty(), "no disks configured");
-
-  // Server-wide cache (the Sprite server's main memory).
-  BufferCache::Config cache_config;
-  cache_config.capacity_bytes = config.cache_bytes;
-  cache_config.async_flush = config.async_flush;
-  cache_ = std::make_unique<BufferCache>(sched_.get(), cache_config,
-                                         MakeReplacementPolicy(config.replacement, config.seed),
-                                         MakeConfiguredFlushPolicy(config));
-  stats_.Register(cache_.get());
-  mover_ = std::make_unique<SimDataMover>(sched_.get(), config.host);
-
-  // File systems, round-robin over disks; disks hosting several file systems
-  // are partitioned evenly (the paper's server had 14 on 10 disks).
-  const int ndisks = static_cast<int>(disks_.size());
-  std::vector<int> fs_on_disk(static_cast<size_t>(ndisks), 0);
-  for (int f = 0; f < config.num_filesystems; ++f) {
-    ++fs_on_disk[static_cast<size_t>(f % ndisks)];
-  }
-  std::vector<int> next_slot(static_cast<size_t>(ndisks), 0);
-  client_ = std::make_unique<LocalClient>(sched_.get());
-  for (int f = 0; f < config.num_filesystems; ++f) {
-    const int d = f % ndisks;
-    DiskDriver* driver = drivers_[static_cast<size_t>(d)].get();
-    const uint64_t disk_blocks =
-        driver->total_sectors() / (kDefaultBlockSize / driver->sector_bytes());
-    const uint64_t part_blocks = disk_blocks / static_cast<uint64_t>(fs_on_disk[d]);
-    const uint64_t start = part_blocks * static_cast<uint64_t>(next_slot[d]++);
-    BlockDev dev(driver, kDefaultBlockSize, start, part_blocks);
-
-    std::unique_ptr<StorageLayout> layout;
-    if (config_.layout == "lfs") {
-      LfsConfig lfs;
-      lfs.fs_id = static_cast<uint32_t>(f);
-      lfs.segment_blocks = config.lfs_segment_blocks;
-      lfs.max_inodes = config.max_inodes;
-      lfs.materialize_metadata = false;
-      auto lfs_layout = std::make_unique<LfsLayout>(sched_.get(), dev, lfs,
-                                                    MakeCleanerPolicy(config.cleaner));
-      stats_.Register(lfs_layout.get());
-      layout = std::move(lfs_layout);
-    } else if (config_.layout == "ffs") {
-      FfsConfig ffs;
-      ffs.fs_id = static_cast<uint32_t>(f);
-      auto ffs_layout = std::make_unique<FfsLayout>(sched_.get(), dev, ffs);
-      stats_.Register(ffs_layout.get());
-      layout = std::move(ffs_layout);
-    } else if (config_.layout == "guessing") {
-      GuessingConfig guess;
-      guess.fs_id = static_cast<uint32_t>(f);
-      guess.seed = config.seed + static_cast<uint64_t>(f);
-      layout = std::make_unique<GuessingLayout>(sched_.get(), dev, guess);
-    } else {
-      PFS_CHECK_MSG(false, "unknown layout in PatsyConfig");
-    }
-    auto fs = std::make_unique<FileSystem>(sched_.get(), layout.get(), cache_.get(),
-                                           mover_.get());
-    client_->AddMount("fs" + std::to_string(f), fs.get());
-    layouts_.push_back(std::move(layout));
-    filesystems_.push_back(std::move(fs));
-  }
-}
-
-PatsyServer::~PatsyServer() {
-  // Suspended threads (daemons, or clients cut off by a bounded run) hold
-  // references into the components destroyed below; release their frames
-  // while everything is still alive.
-  if (sched_ != nullptr) {
-    sched_->DestroyAllThreads();
-  }
-}
-
-Status PatsyServer::Setup() {
-  Status result(ErrorCode::kAborted);
-  sched_->Spawn("patsy.setup", [](PatsyServer* server, Status* out) -> Task<> {
-    for (auto& layout : server->layouts_) {
-      const Status status = co_await layout->Format();
-      if (!status.ok()) {
-        *out = status;
-        co_return;
-      }
-    }
-    *out = OkStatus();
-  }(this, &result));
-  sched_->Run();
-  PFS_RETURN_IF_ERROR(result);
-  cache_->Start();
-  for (auto& layout : layouts_) {
-    if (auto* lfs = dynamic_cast<LfsLayout*>(layout.get()); lfs != nullptr) {
-      lfs->Start();
-    }
-  }
-  return OkStatus();
+PatsyServer::PatsyServer(const PatsyConfig& config) {
+  SystemConfig sim = config;
+  sim.backend = BackendKind::kSimulated;  // Patsy *is* the simulator facade
+  auto system_or = SystemBuilder::Build(sim);
+  PFS_CHECK_MSG(system_or.ok(), system_or.status().ToString().c_str());
+  system_ = std::move(system_or).value();
 }
 
 Result<SimulationResult> RunTraceSimulation(const PatsyConfig& config,
                                             std::vector<TraceRecord> records,
                                             const SimulationOptions& options) {
-  PatsyServer server(config);
+  SystemConfig sim = config;
+  sim.backend = BackendKind::kSimulated;
+  PFS_ASSIGN_OR_RETURN(std::unique_ptr<System> system, SystemBuilder::Build(sim));
+  PatsyServer server(std::move(system));
   PFS_RETURN_IF_ERROR(server.Setup());
 
   TraceReplayer replayer(server.scheduler(), server.client());

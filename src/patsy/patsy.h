@@ -1,9 +1,9 @@
 // Patsy: the instantiation of the cut-and-paste library to a file-system
-// simulator (paper §4). PatsyServer wires the shared components (scheduler,
-// cache, layouts, files, client interface) to the simulation helper
-// components (simulated drivers, disks, SCSI busses, virtual clock);
-// RunTraceSimulation replays a trace against it and gathers the overall and
-// 15-minute-interval measurements the paper reports.
+// simulator (paper §4). PatsyServer is a thin facade over SystemBuilder that
+// pins the simulated backend (simulated drivers, disks, SCSI busses, virtual
+// clock) under the shared components; RunTraceSimulation replays a trace
+// against it and gathers the overall and 15-minute-interval measurements the
+// paper reports.
 //
 // The default topology is the rebuilt Sprite "Allspice" server of §5.1:
 // three SCSI busses, ten HP 97560 disks, fourteen file systems (two of them
@@ -15,85 +15,51 @@
 #include <string>
 #include <vector>
 
-#include "bus/scsi_bus.h"
-#include "cache/buffer_cache.h"
-#include "cache/data_mover.h"
-#include "client/local_client.h"
-#include "disk/disk_model.h"
-#include "driver/sim_disk_driver.h"
-#include "layout/ffs_layout.h"
-#include "layout/guessing_layout.h"
-#include "layout/lfs_layout.h"
-#include "stats/registry.h"
+#include "system/system_builder.h"
 #include "trace/replayer.h"
 
 namespace pfs {
 
-struct PatsyConfig {
-  uint64_t seed = 42;
-
-  // Topology (defaults: the paper's Allspice rebuild).
-  std::vector<int> disks_per_bus = {4, 3, 3};
-  int num_filesystems = 14;
-  DiskParams disk_params = DiskParams::Hp97560();
-  QueueSchedPolicy queue_policy = QueueSchedPolicy::kClook;
-
-  // Layout: "lfs" (paper default), "ffs", or "guessing".
-  std::string layout = "lfs";
-  std::string cleaner = "greedy";
-  uint32_t lfs_segment_blocks = 128;
-  uint32_t max_inodes = 8192;
-
-  // Cache. The Sun 4/280 had 128 MB against a day of traffic; the scaled
-  // default keeps the same regime — the cache holds the trace's dirty data
-  // (write-saving must not degenerate into demand-flush stalls) while cold
-  // reads still miss. NVRAM keeps the paper's 1/32 cache ratio.
-  uint64_t cache_bytes = 48 * kMiB;
-  std::string replacement = "LRU";
-  std::string flush_policy = "write-delay";  // write-delay|ups|nvram-whole|nvram-partial
-  uint64_t nvram_bytes = 2 * kMiB;
-  bool async_flush = true;                   // the §5.2 lesson, applied
-
-  HostModel host;
-};
+// The historical name for the simulator's system description. The same
+// SystemConfig value drives the on-line server (online/pfs_server.h).
+using PatsyConfig = SystemConfig;
 
 class PatsyServer {
  public:
+  // Assembles the simulated stack via SystemBuilder, overriding
+  // config.backend to kSimulated; a config Validate() rejects is fatal here
+  // (use SystemBuilder::Build directly for a Status instead).
   explicit PatsyServer(const PatsyConfig& config);
-  ~PatsyServer();
+
+  // Adopts an already-built system (the Status-returning path;
+  // RunTraceSimulation uses this after SystemBuilder::Build).
+  explicit PatsyServer(std::unique_ptr<System> system) : system_(std::move(system)) {}
 
   PatsyServer(const PatsyServer&) = delete;
   PatsyServer& operator=(const PatsyServer&) = delete;
 
   // Formats all file systems and starts daemons; runs the scheduler until
   // setup completes.
-  Status Setup();
+  Status Setup() { return system_->Setup(); }
 
-  Scheduler* scheduler() { return sched_.get(); }
-  LocalClient* client() { return client_.get(); }
-  BufferCache* cache() { return cache_.get(); }
-  StatsRegistry& stats() { return stats_; }
-  const PatsyConfig& config() const { return config_; }
+  System& system() { return *system_; }
+  Scheduler* scheduler() { return system_->scheduler(); }
+  LocalClient* client() { return system_->client(); }
+  BufferCache* cache() { return system_->cache(); }
+  StatsRegistry& stats() { return system_->stats(); }
+  const SystemConfig& config() const { return system_->config(); }
 
-  const std::vector<std::unique_ptr<DiskModel>>& disks() const { return disks_; }
-  const std::vector<std::unique_ptr<ScsiBus>>& busses() const { return busses_; }
-  const std::vector<std::unique_ptr<SimDiskDriver>>& drivers() const { return drivers_; }
-  StorageLayout* layout(int fs_index) { return layouts_[static_cast<size_t>(fs_index)].get(); }
+  const std::vector<std::unique_ptr<DiskModel>>& disks() const { return system_->disks(); }
+  const std::vector<std::unique_ptr<ScsiBus>>& busses() const { return system_->busses(); }
+  const std::vector<std::unique_ptr<QueueingDiskDriver>>& drivers() const {
+    return system_->drivers();
+  }
+  StorageLayout* layout(int fs_index) { return system_->layout(fs_index); }
 
-  std::string StatReport(bool with_histograms) { return stats_.ReportAll(with_histograms); }
+  std::string StatReport(bool with_histograms) { return system_->StatReport(with_histograms); }
 
  private:
-  PatsyConfig config_;
-  std::unique_ptr<Scheduler> sched_;
-  std::vector<std::unique_ptr<ScsiBus>> busses_;
-  std::vector<std::unique_ptr<DiskModel>> disks_;
-  std::vector<std::unique_ptr<SimDiskDriver>> drivers_;
-  std::vector<std::unique_ptr<StorageLayout>> layouts_;
-  std::unique_ptr<BufferCache> cache_;
-  std::unique_ptr<SimDataMover> mover_;
-  std::vector<std::unique_ptr<FileSystem>> filesystems_;
-  std::unique_ptr<LocalClient> client_;
-  StatsRegistry stats_;
+  std::unique_ptr<System> system_;
 };
 
 struct SimulationResult {

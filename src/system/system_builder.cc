@@ -1,0 +1,340 @@
+#include "system/system_builder.h"
+
+#include <utility>
+
+#include "driver/file_backed_driver.h"
+#include "driver/sim_disk_driver.h"
+#include "layout/ffs_layout.h"
+#include "layout/guessing_layout.h"
+#include "layout/lfs_layout.h"
+
+namespace pfs {
+namespace {
+
+Status Invalid(const std::string& message) {
+  return Status(ErrorCode::kInvalidArgument, message);
+}
+
+int TotalDisks(const SystemConfig& config) {
+  int total = 0;
+  for (int n : config.disks_per_bus) {
+    total += n;
+  }
+  return total;
+}
+
+// File-system blocks one disk offers, from the backend's sector geometry.
+uint64_t DiskBlocks(const SystemConfig& config) {
+  const uint32_t sector_bytes = config.simulated() ? config.disk_params.geometry.sector_bytes
+                                                   : FileBackedDriver::kSectorBytes;
+  const uint64_t total_sectors = config.simulated()
+                                     ? config.disk_params.geometry.TotalSectors()
+                                     : config.image_bytes / sector_bytes;
+  if (sector_bytes == 0 || kDefaultBlockSize % sector_bytes != 0) {
+    return 0;
+  }
+  return total_sectors / (kDefaultBlockSize / sector_bytes);
+}
+
+std::unique_ptr<FlushPolicy> MakeConfiguredFlushPolicy(const SystemConfig& config) {
+  if (config.flush_policy == "write-delay") {
+    return std::make_unique<WriteDelayPolicy>();
+  }
+  if (config.flush_policy == "ups") {
+    return std::make_unique<UpsPolicy>();
+  }
+  if (config.flush_policy == "nvram-whole") {
+    return std::make_unique<NvramPolicy>(NvramPolicy::Options{config.nvram_bytes, true});
+  }
+  if (config.flush_policy == "nvram-partial") {
+    return std::make_unique<NvramPolicy>(NvramPolicy::Options{config.nvram_bytes, false});
+  }
+  return nullptr;  // Validate() rejected this name already
+}
+
+std::unique_ptr<StorageLayout> MakeLayout(Scheduler* sched, BlockDev dev,
+                                          const SystemConfig& config, int fs_index,
+                                          StatsRegistry* stats) {
+  std::unique_ptr<StorageLayout> layout;
+  if (config.layout == "lfs") {
+    LfsConfig lfs;
+    lfs.fs_id = static_cast<uint32_t>(fs_index);
+    lfs.segment_blocks = config.lfs_segment_blocks;
+    lfs.max_inodes = config.max_inodes;
+    lfs.materialize_metadata = !config.simulated();
+    layout = std::make_unique<LfsLayout>(sched, std::move(dev), lfs,
+                                         MakeCleanerPolicy(config.cleaner));
+  } else if (config.layout == "ffs") {
+    FfsConfig ffs;
+    ffs.fs_id = static_cast<uint32_t>(fs_index);
+    ffs.materialize_metadata = !config.simulated();
+    layout = std::make_unique<FfsLayout>(sched, std::move(dev), ffs);
+  } else {
+    GuessingConfig guess;
+    guess.fs_id = static_cast<uint32_t>(fs_index);
+    guess.seed = config.seed + static_cast<uint64_t>(fs_index);
+    layout = std::make_unique<GuessingLayout>(sched, std::move(dev), guess);
+  }
+  if (auto* source = dynamic_cast<StatSource*>(layout.get()); source != nullptr) {
+    stats->Register(source);
+  }
+  return layout;
+}
+
+}  // namespace
+
+const char* BackendKindName(BackendKind k) {
+  switch (k) {
+    case BackendKind::kSimulated:
+      return "simulated";
+    case BackendKind::kFileBacked:
+      return "file-backed";
+  }
+  return "?";
+}
+
+const char* ClockKindName(ClockKind k) {
+  switch (k) {
+    case ClockKind::kAuto:
+      return "auto";
+    case ClockKind::kVirtual:
+      return "virtual";
+    case ClockKind::kReal:
+      return "real";
+  }
+  return "?";
+}
+
+SystemConfig SystemConfig::AllspiceSim() { return SystemConfig{}; }
+
+SystemConfig SystemConfig::OnlineDefaults() {
+  SystemConfig config;
+  config.backend = BackendKind::kFileBacked;
+  config.seed = 1;
+  config.disks_per_bus = {1};
+  config.num_filesystems = 1;
+  config.cache_bytes = 8 * kMiB;
+  config.lfs_segment_blocks = 64;
+  config.max_inodes = 4096;
+  return config;
+}
+
+uint64_t SystemBuilder::MinBlocksPerFilesystem(const SystemConfig& config) {
+  if (config.layout == "ffs") {
+    FfsConfig ffs;
+    ffs.materialize_metadata = !config.simulated();
+    return FfsLayout::MinPartitionBlocks(ffs);
+  }
+  if (config.layout == "guessing") {
+    return 64;
+  }
+  // LFS: enough room for the checkpoint regions plus 16 segments, so the
+  // cleaner has segments to work with.
+  LfsConfig lfs;
+  lfs.segment_blocks = config.lfs_segment_blocks;
+  lfs.max_inodes = config.max_inodes;
+  return LfsLayout::MinPartitionBlocks(lfs);
+}
+
+Status SystemBuilder::Validate(const SystemConfig& config) {
+  if (config.disks_per_bus.empty()) {
+    return Invalid("disks_per_bus: at least one bus is required");
+  }
+  for (int n : config.disks_per_bus) {
+    if (n < 0) {
+      return Invalid("disks_per_bus: negative disk count");
+    }
+  }
+  const int total_disks = TotalDisks(config);
+  if (total_disks == 0) {
+    return Invalid("disks_per_bus: topology has zero disks");
+  }
+  if (config.num_filesystems < 1) {
+    return Invalid("num_filesystems: at least one file system is required");
+  }
+  if (config.layout != "lfs" && config.layout != "ffs" && config.layout != "guessing") {
+    return Invalid("layout: unknown name \"" + config.layout +
+                   "\" (expected lfs, ffs, or guessing)");
+  }
+  if (config.cleaner != "greedy" && config.cleaner != "cost-benefit") {
+    return Invalid("cleaner: unknown name \"" + config.cleaner +
+                   "\" (expected greedy or cost-benefit)");
+  }
+  if (config.replacement != "LRU" && config.replacement != "RANDOM" &&
+      config.replacement != "LFU" && config.replacement != "SLRU" &&
+      config.replacement != "LRU-2") {
+    return Invalid("replacement: unknown name \"" + config.replacement +
+                   "\" (expected LRU, RANDOM, LFU, SLRU, or LRU-2)");
+  }
+  if (config.flush_policy != "write-delay" && config.flush_policy != "ups" &&
+      config.flush_policy != "nvram-whole" && config.flush_policy != "nvram-partial") {
+    return Invalid("flush_policy: unknown name \"" + config.flush_policy +
+                   "\" (expected write-delay, ups, nvram-whole, or nvram-partial)");
+  }
+  if (config.layout == "lfs" && config.lfs_segment_blocks < 4) {
+    return Invalid("lfs_segment_blocks: segments need at least 4 blocks");
+  }
+  if (config.cache_bytes < kDefaultBlockSize) {
+    return Invalid("cache_bytes: smaller than one block");
+  }
+  if (!config.simulated()) {
+    if (config.image_path.empty()) {
+      return Invalid("image_path: required for the file-backed backend");
+    }
+    if (config.io_threads < 1) {
+      return Invalid("io_threads: the file-backed backend needs at least one");
+    }
+  }
+  const uint64_t disk_blocks = DiskBlocks(config);
+  if (disk_blocks == 0) {
+    return Invalid("disk geometry: block size is not a multiple of the sector size");
+  }
+  // The round-robin placement puts ceil(num_filesystems / total_disks) file
+  // systems on the fullest disk; every resulting partition must still hold a
+  // formattable file system.
+  const uint64_t max_fs_on_disk =
+      (static_cast<uint64_t>(config.num_filesystems) + static_cast<uint64_t>(total_disks) -
+       1) /
+      static_cast<uint64_t>(total_disks);
+  const uint64_t partition_blocks = disk_blocks / max_fs_on_disk;
+  const uint64_t min_blocks = MinBlocksPerFilesystem(config);
+  if (partition_blocks < min_blocks) {
+    return Invalid("num_filesystems: " + std::to_string(config.num_filesystems) + " " +
+                   config.layout + " file systems over " + std::to_string(total_disks) +
+                   " disk(s) leave " + std::to_string(partition_blocks) +
+                   " blocks per partition; the layout needs " + std::to_string(min_blocks));
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config) {
+  PFS_RETURN_IF_ERROR(Validate(config));
+  auto system = std::unique_ptr<System>(new System());
+  System& sys = *system;
+  sys.config_ = config;
+  sys.sched_ = config.virtual_clock() ? Scheduler::CreateVirtual(config.seed)
+                                      : Scheduler::CreateReal(config.seed);
+  Scheduler* sched = sys.sched_.get();
+
+  // Drivers: the only place where the two backends diverge structurally.
+  if (config.simulated()) {
+    int disk_index = 0;
+    for (size_t b = 0; b < config.disks_per_bus.size(); ++b) {
+      auto bus = std::make_unique<ScsiBus>(sched, std::string("scsi") + std::to_string(b));
+      for (int d = 0; d < config.disks_per_bus[b]; ++d) {
+        const std::string name = std::string("d") + std::to_string(disk_index);
+        auto disk = std::make_unique<DiskModel>(sched, name, config.disk_params, bus.get());
+        disk->Start();
+        auto driver =
+            std::make_unique<SimDiskDriver>(sched, name, disk.get(), bus.get(),
+                                            config.queue_policy);
+        driver->Start();
+        sys.stats_.Register(disk.get());
+        sys.stats_.Register(driver.get());
+        sys.disks_.push_back(std::move(disk));
+        sys.drivers_.push_back(std::move(driver));
+        ++disk_index;
+      }
+      sys.stats_.Register(bus.get());
+      sys.busses_.push_back(std::move(bus));
+    }
+  } else {
+    sys.executor_ = std::make_unique<IoExecutor>(config.io_threads);
+    const int total_disks = TotalDisks(config);
+    for (int i = 0; i < total_disks; ++i) {
+      const std::string path =
+          i == 0 ? config.image_path : config.image_path + "." + std::to_string(i);
+      PFS_ASSIGN_OR_RETURN(
+          std::unique_ptr<FileBackedDriver> driver,
+          FileBackedDriver::Create(sched, std::string("d") + std::to_string(i), path, config.image_bytes,
+                                   sys.executor_.get(), config.queue_policy));
+      driver->Start();
+      sys.stats_.Register(driver.get());
+      sys.drivers_.push_back(std::move(driver));
+    }
+  }
+
+  // The server-wide cache: simulated caches track identity only, real caches
+  // hold real bytes (paper §2).
+  BufferCache::Config cache_config;
+  cache_config.capacity_bytes = config.cache_bytes;
+  cache_config.allocate_memory = !config.simulated();
+  cache_config.async_flush = config.async_flush;
+  sys.cache_ = std::make_unique<BufferCache>(
+      sched, cache_config, MakeReplacementPolicy(config.replacement, config.seed),
+      MakeConfiguredFlushPolicy(config));
+  sys.stats_.Register(sys.cache_.get());
+  if (config.simulated()) {
+    sys.mover_ = std::make_unique<SimDataMover>(sched, config.host);
+  } else {
+    sys.mover_ = std::make_unique<RealDataMover>();
+  }
+
+  // File systems, round-robin over the disks; disks hosting several file
+  // systems are partitioned evenly (the paper's server had 14 on 10 disks).
+  const int ndisks = static_cast<int>(sys.drivers_.size());
+  std::vector<int> fs_on_disk(static_cast<size_t>(ndisks), 0);
+  for (int f = 0; f < config.num_filesystems; ++f) {
+    ++fs_on_disk[static_cast<size_t>(f % ndisks)];
+  }
+  std::vector<int> next_slot(static_cast<size_t>(ndisks), 0);
+  sys.client_ = std::make_unique<LocalClient>(sched);
+  for (int f = 0; f < config.num_filesystems; ++f) {
+    const int d = f % ndisks;
+    DiskDriver* driver = sys.drivers_[static_cast<size_t>(d)].get();
+    const uint64_t disk_blocks =
+        driver->total_sectors() / (kDefaultBlockSize / driver->sector_bytes());
+    const uint64_t part_blocks = disk_blocks / static_cast<uint64_t>(fs_on_disk[d]);
+    const uint64_t start = part_blocks * static_cast<uint64_t>(next_slot[d]++);
+    BlockDev dev(driver, kDefaultBlockSize, start, part_blocks);
+    auto layout = MakeLayout(sched, std::move(dev), config, f, &sys.stats_);
+    auto fs = std::make_unique<FileSystem>(sched, layout.get(), sys.cache_.get(),
+                                           sys.mover_.get());
+    std::string mount = config.mount_prefix + std::to_string(f);
+    sys.client_->AddMount(mount, fs.get());
+    sys.mount_names_.push_back(std::move(mount));
+    sys.layouts_.push_back(std::move(layout));
+    sys.filesystems_.push_back(std::move(fs));
+  }
+  return system;
+}
+
+System::~System() {
+  // Suspended threads (daemons, or clients cut off by a bounded run) hold
+  // references into the components destroyed below; release their frames
+  // while everything is still alive.
+  if (sched_ != nullptr) {
+    sched_->DestroyAllThreads();
+  }
+}
+
+Status System::Setup() {
+  Status result(ErrorCode::kAborted);
+  sched_->Spawn("system.setup", [](System* sys, Status* out) -> Task<> {
+    const bool format = sys->config_.simulated() || sys->config_.format;
+    for (auto& layout : sys->layouts_) {
+      // Two separate co_awaits: GCC 12 miscompiles `cond ? co_await a
+      // : co_await b` (temporaries in the frame are double-destroyed).
+      Status status = OkStatus();
+      if (format) {
+        status = co_await layout->Format();
+      } else {
+        status = co_await layout->Mount();
+      }
+      if (!status.ok()) {
+        *out = status;
+        co_return;
+      }
+    }
+    *out = OkStatus();
+  }(this, &result));
+  sched_->Run();
+  PFS_RETURN_IF_ERROR(result);
+  cache_->Start();
+  for (auto& layout : layouts_) {
+    layout->Start();
+  }
+  return OkStatus();
+}
+
+}  // namespace pfs

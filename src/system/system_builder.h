@@ -1,0 +1,99 @@
+// SystemBuilder: assembles a complete file-server — scheduler + clock,
+// drivers (simulated or file-backed), storage layouts, buffer cache, data
+// mover, file systems, client interface — from one SystemConfig. The same
+// builder produces the simulator stack (Patsy) and the on-line stack (PFS);
+// the facades in patsy/ and online/ only add their mode-specific front ends
+// (trace replay, NFS loopback + OS threads).
+#ifndef PFS_SYSTEM_SYSTEM_BUILDER_H_
+#define PFS_SYSTEM_SYSTEM_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/scsi_bus.h"
+#include "cache/buffer_cache.h"
+#include "cache/data_mover.h"
+#include "client/local_client.h"
+#include "disk/disk_model.h"
+#include "driver/io_executor.h"
+#include "fs/file_system.h"
+#include "layout/storage_layout.h"
+#include "stats/registry.h"
+#include "system/system_config.h"
+
+namespace pfs {
+
+// The assembled stack. Owns every component in dependency order; the
+// destructor releases suspended coroutine frames (daemons, cut-off clients)
+// while all components are still alive.
+class System {
+ public:
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Formats (config.format or a simulated backend) or mounts every file
+  // system and starts the cache and layout daemons; runs the scheduler until
+  // setup completes. Call once, before serving.
+  Status Setup();
+
+  const SystemConfig& config() const { return config_; }
+  Scheduler* scheduler() { return sched_.get(); }
+  LocalClient* client() { return client_.get(); }
+  BufferCache* cache() { return cache_.get(); }
+  StatsRegistry& stats() { return stats_; }
+
+  int filesystem_count() const { return static_cast<int>(layouts_.size()); }
+  StorageLayout* layout(int fs_index) { return layouts_[static_cast<size_t>(fs_index)].get(); }
+  const std::string& mount_name(int fs_index) const {
+    return mount_names_[static_cast<size_t>(fs_index)];
+  }
+
+  // Simulated topology (empty vectors for the file-backed backend).
+  const std::vector<std::unique_ptr<ScsiBus>>& busses() const { return busses_; }
+  const std::vector<std::unique_ptr<DiskModel>>& disks() const { return disks_; }
+  // Every disk's driver, simulated or file-backed.
+  const std::vector<std::unique_ptr<QueueingDiskDriver>>& drivers() const { return drivers_; }
+
+  std::string StatReport(bool with_histograms) { return stats_.ReportAll(with_histograms); }
+
+ private:
+  friend class SystemBuilder;
+  System() = default;
+
+  SystemConfig config_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<IoExecutor> executor_;  // file-backed only
+  std::vector<std::unique_ptr<ScsiBus>> busses_;
+  std::vector<std::unique_ptr<DiskModel>> disks_;
+  std::vector<std::unique_ptr<QueueingDiskDriver>> drivers_;
+  std::vector<std::unique_ptr<StorageLayout>> layouts_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<DataMover> mover_;
+  std::vector<std::unique_ptr<FileSystem>> filesystems_;
+  std::unique_ptr<LocalClient> client_;
+  std::vector<std::string> mount_names_;
+  StatsRegistry stats_;
+};
+
+class SystemBuilder {
+ public:
+  // Checks every policy name and the topology in one place; every config
+  // error surfaces here as kInvalidArgument with a message naming the field.
+  static Status Validate(const SystemConfig& config);
+
+  // Validates, then assembles the stack. The returned system is constructed
+  // but not yet set up; call System::Setup() next.
+  static Result<std::unique_ptr<System>> Build(const SystemConfig& config);
+
+  // The smallest partition (in file-system blocks) a file system of
+  // `config.layout` can be formatted in; Validate rejects topologies that
+  // slice any disk thinner than this.
+  static uint64_t MinBlocksPerFilesystem(const SystemConfig& config);
+};
+
+}  // namespace pfs
+
+#endif  // PFS_SYSTEM_SYSTEM_BUILDER_H_

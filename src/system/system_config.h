@@ -1,0 +1,94 @@
+// The declarative system description (the "cut-and-paste" knob): one value
+// of SystemConfig names a complete file-server — topology (busses, disks,
+// file systems), storage layout, cache and persistency policies, and the
+// instantiation mode: simulated helper components (SCSI bus + disk models,
+// virtual clock, time-accounting data mover) or the on-line ones (file-backed
+// disks, real clock, real memory). SystemBuilder assembles either stack from
+// the same description; PatsyServer and PfsServer are thin facades over it.
+#ifndef PFS_SYSTEM_SYSTEM_CONFIG_H_
+#define PFS_SYSTEM_SYSTEM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/data_mover.h"
+#include "core/units.h"
+#include "disk/disk_model.h"
+#include "driver/disk_driver.h"
+
+namespace pfs {
+
+// Which helper components back the framework components (paper §2: the
+// framework is identical; only the helpers differ between PFS and Patsy).
+enum class BackendKind : uint8_t {
+  kSimulated,   // ScsiBus + DiskModel behind SimDiskDriver; no real bytes
+  kFileBacked,  // Unix files behind FileBackedDriver; real bytes in the cache
+};
+
+enum class ClockKind : uint8_t {
+  kAuto,     // virtual for kSimulated, real for kFileBacked
+  kVirtual,  // time jumps to the next timer expiry when idle
+  kReal,     // the host's monotonic clock
+};
+
+const char* BackendKindName(BackendKind k);
+const char* ClockKindName(ClockKind k);
+
+struct SystemConfig {
+  // -- instantiation -------------------------------------------------------
+  BackendKind backend = BackendKind::kSimulated;
+  ClockKind clock = ClockKind::kAuto;
+  uint64_t seed = 42;
+
+  // -- topology (defaults: the paper's Allspice rebuild) -------------------
+  // Simulated: one ScsiBus per entry, entry = disks on that bus.
+  // File-backed: busses are not modelled; the total is the disk count.
+  std::vector<int> disks_per_bus = {4, 3, 3};
+  int num_filesystems = 14;
+  DiskParams disk_params = DiskParams::Hp97560();
+  QueueSchedPolicy queue_policy = QueueSchedPolicy::kClook;
+
+  // -- file-backed backend -------------------------------------------------
+  // Disk 0 uses `image_path` verbatim; disk i > 0 appends ".i".
+  std::string image_path;
+  uint64_t image_bytes = 64 * kMiB;  // per disk
+  bool format = true;                // format vs mount existing images
+  int io_threads = 2;                // blocking-syscall pool size
+
+  // -- storage layout: "lfs" (paper default), "ffs", or "guessing" ---------
+  std::string layout = "lfs";
+  std::string cleaner = "greedy";  // greedy | cost-benefit
+  uint32_t lfs_segment_blocks = 128;
+  uint32_t max_inodes = 8192;
+
+  // -- cache ---------------------------------------------------------------
+  uint64_t cache_bytes = 48 * kMiB;
+  std::string replacement = "LRU";           // LRU|RANDOM|LFU|SLRU|LRU-2
+  std::string flush_policy = "write-delay";  // write-delay|ups|nvram-whole|nvram-partial
+  uint64_t nvram_bytes = 2 * kMiB;
+  bool async_flush = true;  // the §5.2 lesson, applied
+
+  // -- simulated host (data-copy and per-op CPU accounting) ----------------
+  HostModel host;
+
+  // File system f is mounted at "/<mount_prefix><f>".
+  std::string mount_prefix = "fs";
+
+  bool simulated() const { return backend == BackendKind::kSimulated; }
+  bool virtual_clock() const {
+    return clock == ClockKind::kAuto ? simulated() : clock == ClockKind::kVirtual;
+  }
+
+  // The defaults above, spelled out: the rebuilt Sprite "Allspice" server of
+  // §5.1 under the simulator.
+  static SystemConfig AllspiceSim();
+
+  // On-line server defaults: one file-backed disk, one LFS file system, a
+  // small cache, real clock.
+  static SystemConfig OnlineDefaults();
+};
+
+}  // namespace pfs
+
+#endif  // PFS_SYSTEM_SYSTEM_CONFIG_H_

@@ -134,7 +134,7 @@ TEST_F(OnlineTest, ServesRequestsFromOtherThreads) {
   const Status status = server->Submit([](ClientInterface* c) -> Task<Status> {
     OpenOptions create;
     create.create = true;
-    auto fd = co_await c->Open("/pfs/online.txt", create);
+    auto fd = co_await c->Open("/fs0/online.txt", create);
     PFS_CO_RETURN_IF_ERROR(fd.status());
     std::vector<std::byte> data(8192, std::byte{0x42});
     auto wrote = co_await c->Write(*fd, 0, data.size(), data);
@@ -160,7 +160,7 @@ TEST_F(OnlineTest, DataPersistsAcrossServerRestart) {
     const Status status = server->Submit([](ClientInterface* c) -> Task<Status> {
       OpenOptions create;
       create.create = true;
-      auto fd = co_await c->Open("/pfs/persist.txt", create);
+      auto fd = co_await c->Open("/fs0/persist.txt", create);
       PFS_CO_RETURN_IF_ERROR(fd.status());
       std::vector<std::byte> data(4096);
       for (size_t i = 0; i < data.size(); ++i) {
@@ -179,7 +179,7 @@ TEST_F(OnlineTest, DataPersistsAcrossServerRestart) {
     ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
     auto server = std::move(server_or).value();
     const Status status = server->Submit([](ClientInterface* c) -> Task<Status> {
-      auto fd = co_await c->Open("/pfs/persist.txt", OpenOptions{});
+      auto fd = co_await c->Open("/fs0/persist.txt", OpenOptions{});
       PFS_CO_RETURN_IF_ERROR(fd.status());
       std::vector<std::byte> back(4096);
       auto read = co_await c->Read(*fd, 0, back.size(), back);
@@ -207,7 +207,7 @@ TEST_F(OnlineTest, RecordedTraceReplaysInPatsy) {
     OpenOptions create;
     create.create = true;
     for (int i = 0; i < 5; ++i) {
-      auto fd = co_await c->Open("/pfs/f" + std::to_string(i), create);
+      auto fd = co_await c->Open("/fs0/f" + std::to_string(i), create);
       PFS_CO_RETURN_IF_ERROR(fd.status());
       auto wrote = co_await c->Write(*fd, 0, 4096, {});
       PFS_CO_RETURN_IF_ERROR(wrote.status());
@@ -220,13 +220,10 @@ TEST_F(OnlineTest, RecordedTraceReplaysInPatsy) {
   ASSERT_TRUE(server->Stop().ok());
   ASSERT_GE(trace.size(), 15u);  // 5 x (open, write, close)
 
-  // Rewrite the mount prefix (/pfs -> /fs0) and replay in the simulator.
-  for (TraceRecord& r : trace) {
-    r.path = "/fs0" + r.path.substr(4);
-  }
-  PatsyConfig sim;
-  sim.disks_per_bus = {1};
-  sim.num_filesystems = 1;
+  // Replay in the simulator from the same system description: both
+  // instantiations mount /fs0, so the trace needs no path rewriting.
+  PatsyConfig sim = config;
+  sim.backend = BackendKind::kSimulated;
   sim.flush_policy = "ups";
   auto result = RunTraceSimulation(sim, std::move(trace));
   ASSERT_TRUE(result.ok()) << result.status().ToString();

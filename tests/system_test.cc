@@ -1,0 +1,257 @@
+// Tests for the shared assembly layer: one SystemConfig instantiates both
+// the simulated stack and the file-backed stack, the same workload produces
+// identical logical results on each, and invalid descriptions are rejected
+// with a clear Status instead of divergent per-server parsing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "client/client_interface.h"
+#include "online/pfs_server.h"
+#include "system/system_builder.h"
+
+namespace pfs {
+namespace {
+
+// What a workload leaves behind, as the client sees it: directory listing,
+// file sizes, operation successes. Identical across backends by design.
+struct WorkloadResult {
+  std::vector<std::string> entries;
+  std::vector<uint64_t> sizes;
+  uint64_t ops_ok = 0;
+};
+
+Task<Status> RunWorkload(ClientInterface* c, WorkloadResult* out) {
+  OpenOptions create;
+  create.create = true;
+  PFS_CO_RETURN_IF_ERROR(co_await c->Mkdir("/fs0/dir"));
+  ++out->ops_ok;
+  for (int i = 0; i < 6; ++i) {
+    auto fd = co_await c->Open("/fs0/dir/f" + std::to_string(i), create);
+    PFS_CO_RETURN_IF_ERROR(fd.status());
+    const uint64_t bytes = 1024 + static_cast<uint64_t>(i) * 3000;
+    auto wrote = co_await c->Write(*fd, 0, bytes, {});
+    PFS_CO_RETURN_IF_ERROR(wrote.status());
+    auto read = co_await c->Read(*fd, 0, bytes / 2, {});
+    PFS_CO_RETURN_IF_ERROR(read.status());
+    PFS_CO_RETURN_IF_ERROR(co_await c->Close(*fd));
+    ++out->ops_ok;
+  }
+  // Churn: delete one file, rename another, and use the second mount.
+  PFS_CO_RETURN_IF_ERROR(co_await c->Unlink("/fs0/dir/f0"));
+  ++out->ops_ok;
+  PFS_CO_RETURN_IF_ERROR(co_await c->Rename("/fs0/dir/f1", "/fs0/dir/g1"));
+  ++out->ops_ok;
+  {
+    auto fd = co_await c->Open("/fs1/other", create);
+    PFS_CO_RETURN_IF_ERROR(fd.status());
+    auto wrote = co_await c->Write(*fd, 0, 8192, {});
+    PFS_CO_RETURN_IF_ERROR(wrote.status());
+    PFS_CO_RETURN_IF_ERROR(co_await c->Close(*fd));
+    ++out->ops_ok;
+  }
+  auto entries = co_await c->ReadDir("/fs0/dir");
+  PFS_CO_RETURN_IF_ERROR(entries.status());
+  for (const DirEntry& e : *entries) {
+    out->entries.push_back(e.name);
+    auto attrs = co_await c->Stat("/fs0/dir/" + e.name);
+    PFS_CO_RETURN_IF_ERROR(attrs.status());
+    out->sizes.push_back(attrs->size);
+  }
+  std::vector<size_t> order(out->entries.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return out->entries[a] < out->entries[b];
+  });
+  WorkloadResult sorted;
+  for (size_t i : order) {
+    sorted.entries.push_back(out->entries[i]);
+    sorted.sizes.push_back(out->sizes[i]);
+  }
+  out->entries = std::move(sorted.entries);
+  out->sizes = std::move(sorted.sizes);
+  co_return co_await c->SyncAll();
+}
+
+// Two disks, two LFS file systems — enough topology to exercise the
+// round-robin partitioner in both backends.
+SystemConfig SmallConfig() {
+  SystemConfig config;
+  config.disks_per_bus = {2};
+  config.num_filesystems = 2;
+  config.cache_bytes = 2 * kMiB;
+  config.lfs_segment_blocks = 64;
+  config.max_inodes = 1024;
+  config.flush_policy = "ups";
+  config.image_bytes = 8 * kMiB;
+  return config;
+}
+
+Result<WorkloadResult> RunOn(const SystemConfig& config) {
+  PFS_ASSIGN_OR_RETURN(std::unique_ptr<System> system, SystemBuilder::Build(config));
+  PFS_RETURN_IF_ERROR(system->Setup());
+  WorkloadResult result;
+  Status status(ErrorCode::kAborted);
+  system->scheduler()->Spawn("test.workload",
+                             [](System* sys, WorkloadResult* out, Status* st) -> Task<> {
+                               *st = co_await RunWorkload(sys->client(), out);
+                             }(system.get(), &result, &status));
+  system->scheduler()->Run();
+  PFS_RETURN_IF_ERROR(status);
+  return result;
+}
+
+class SystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    image_ = testing::TempDir() + "/pfs_system_test.img";
+    std::remove(image_.c_str());
+    std::remove((image_ + ".1").c_str());
+  }
+  void TearDown() override {
+    std::remove(image_.c_str());
+    std::remove((image_ + ".1").c_str());
+  }
+
+  std::string image_;
+};
+
+TEST_F(SystemTest, SameConfigSameResultsOnBothBackends) {
+  SystemConfig config = SmallConfig();
+  config.image_path = image_;
+
+  config.backend = BackendKind::kSimulated;
+  auto sim = RunOn(config);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+
+  config.backend = BackendKind::kFileBacked;
+  auto real = RunOn(config);
+  ASSERT_TRUE(real.ok()) << real.status().ToString();
+
+  EXPECT_EQ(sim->entries, real->entries);
+  EXPECT_EQ(sim->sizes, real->sizes);
+  EXPECT_EQ(sim->ops_ok, real->ops_ok);
+  EXPECT_EQ(sim->entries,
+            (std::vector<std::string>{"f2", "f3", "f4", "f5", "g1"}));
+}
+
+TEST_F(SystemTest, FileBackedStacksAllThreeLayouts) {
+  for (const char* layout : {"lfs", "ffs", "guessing"}) {
+    SystemConfig config = SmallConfig();
+    config.image_path = image_;
+    config.backend = BackendKind::kFileBacked;
+    config.layout = layout;
+    config.image_bytes = 16 * kMiB;  // one FFS cylinder group per partition
+    auto result = RunOn(config);
+    ASSERT_TRUE(result.ok()) << layout << ": " << result.status().ToString();
+    EXPECT_EQ(result->ops_ok, 10u) << layout;
+    TearDown();  // fresh images per layout
+  }
+}
+
+TEST_F(SystemTest, OnlineServerRunsMultiDiskFfsTopology) {
+  PfsServerConfig config;
+  config.image_path = image_;
+  config.image_bytes = 16 * kMiB;
+  config.disks_per_bus = {2};
+  config.num_filesystems = 2;
+  config.layout = "ffs";
+  auto server_or = PfsServer::Start(config);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto server = std::move(server_or).value();
+  ASSERT_EQ(server->filesystem_count(), 2);
+  EXPECT_STREQ(server->layout(0)->layout_name(), "ffs");
+  EXPECT_STREQ(server->layout(1)->layout_name(), "ffs");
+  const Status status = server->Submit([](ClientInterface* c) -> Task<Status> {
+    OpenOptions create;
+    create.create = true;
+    for (const char* path : {"/fs0/a", "/fs1/b"}) {
+      auto fd = co_await c->Open(path, create);
+      PFS_CO_RETURN_IF_ERROR(fd.status());
+      std::vector<std::byte> data(4096, std::byte{0x5a});
+      auto wrote = co_await c->Write(*fd, 0, data.size(), data);
+      PFS_CO_RETURN_IF_ERROR(wrote.status());
+      std::vector<std::byte> back(4096);
+      auto read = co_await c->Read(*fd, 0, back.size(), back);
+      PFS_CO_RETURN_IF_ERROR(read.status());
+      if (back != data) {
+        co_return Status(ErrorCode::kCorrupt, "read-back mismatch");
+      }
+      PFS_CO_RETURN_IF_ERROR(co_await c->Close(*fd));
+    }
+    co_return OkStatus();
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(server->Stop().ok());
+}
+
+// -- Validation: every config error surfaces in one place ------------------
+
+TEST(SystemValidateTest, RejectsZeroDisks) {
+  SystemConfig config;
+  config.disks_per_bus = {};
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+  config.disks_per_bus = {0, 0};
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(SystemBuilder::Build(config).ok());
+}
+
+TEST(SystemValidateTest, RejectsUnknownNames) {
+  SystemConfig config;
+  config.layout = "zfs";
+  const Status layout_status = SystemBuilder::Validate(config);
+  EXPECT_EQ(layout_status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(layout_status.ToString().find("layout"), std::string::npos);
+
+  config = SystemConfig{};
+  config.flush_policy = "sometimes";
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+
+  config = SystemConfig{};
+  config.replacement = "MRU";
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+
+  config = SystemConfig{};
+  config.cleaner = "lazy";
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SystemValidateTest, RejectsMoreFilesystemsThanDisksCanHold) {
+  SystemConfig config;
+  config.backend = BackendKind::kFileBacked;
+  config.image_path = "/tmp/pfs_validate_test.img";
+  config.disks_per_bus = {1};
+  config.image_bytes = 8 * kMiB;
+  config.num_filesystems = 64;  // 8 MiB / 64 partitions << an LFS minimum
+  const Status status = SystemBuilder::Validate(config);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("num_filesystems"), std::string::npos);
+}
+
+TEST(SystemValidateTest, RejectsFileBackedWithoutImagePath) {
+  SystemConfig config = SystemConfig::OnlineDefaults();
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+  config.image_path = "/tmp/pfs_validate_test2.img";
+  EXPECT_TRUE(SystemBuilder::Validate(config).ok());
+}
+
+TEST(SystemValidateTest, PatsyAndOnlineShareOneDescription) {
+  // The cut-and-paste property as an API: the same value validates for both
+  // instantiations, and each facade only flips the backend.
+  SystemConfig shared = SystemConfig::OnlineDefaults();
+  shared.image_path = "/tmp/pfs_validate_test3.img";
+  EXPECT_TRUE(SystemBuilder::Validate(shared).ok());
+  SystemConfig sim = shared;
+  sim.backend = BackendKind::kSimulated;
+  EXPECT_TRUE(SystemBuilder::Validate(sim).ok());
+  EXPECT_TRUE(sim.virtual_clock());
+  EXPECT_FALSE(shared.virtual_clock());
+}
+
+}  // namespace
+}  // namespace pfs
