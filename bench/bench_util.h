@@ -7,12 +7,46 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "patsy/patsy.h"
 #include "workload/generator.h"
 
 namespace pfs::bench {
+
+// --json on a bench binary's command line: in addition to the text report,
+// append one JSON object per result line to BENCH_<name>.json in the current
+// directory — a machine-readable run trail (StatsRegistry::ReportJson
+// provides the component stats in the same format), no text scraping.
+class JsonSink {
+ public:
+  JsonSink(const char* bench, int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") {
+        path_ = std::string("BENCH_") + bench + ".json";
+        break;
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Append(const std::string& json_object) {
+    if (path_.empty()) {
+      return;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      return;
+    }
+    std::fprintf(f, "%s\n", json_object.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+};
 
 // BENCH_SCALE scales trace duration (1.0 default); the curves' shape is
 // stable across scales.
@@ -62,8 +96,11 @@ inline Result<SimulationResult> RunPolicy(const std::string& trace_name,
 
 // Prints one figure: the cumulative latency distribution for each policy on
 // one trace (the series of the paper's Figures 2-4), plus the mean-latency
-// markers the paper draws as horizontal bars.
-inline int RunCdfFigure(const char* figure, const char* trace_name) {
+// markers the paper draws as horizontal bars. With --json, each policy's
+// summary numbers are appended to BENCH_<json_tag>.json.
+inline int RunCdfFigure(const char* figure, const char* trace_name, int argc = 0,
+                        char** argv = nullptr, const char* json_tag = "cdf_figure") {
+  JsonSink json(json_tag, argc, argv);
   const double scale = DefaultScale();
   std::printf("# %s: cumulative distribution of file-system latencies, trace %s\n", figure,
               trace_name);
@@ -87,6 +124,18 @@ inline int RunCdfFigure(const char* figure, const char* trace_name) {
     std::printf("# landmarks: <=2ms(cache)=%.3f  <=17ms(one rotation)=%.3f\n",
                 result->overall.FractionBelow(Duration::Millis(2)),
                 result->overall.FractionBelow(Duration::Millis(17)));
+    if (json.enabled()) {
+      char line[384];
+      std::snprintf(line, sizeof(line),
+                    "{\"figure\":\"%s\",\"trace\":\"%s\",\"policy\":\"%s\",\"scale\":%.3f,"
+                    "\"ops\":%llu,\"mean_ms\":%.4f,\"p50_ms\":%.4f,\"p95_ms\":%.4f}",
+                    json_tag, trace_name, run.label.c_str(), scale,
+                    static_cast<unsigned long long>(result->ops),
+                    result->overall.mean().ToMillisF(),
+                    result->overall.Percentile(0.5).ToMillisF(),
+                    result->overall.Percentile(0.95).ToMillisF());
+      json.Append(line);
+    }
   }
   return 0;
 }

@@ -2,4 +2,4 @@
 // 1a, under the four delayed-write policies (paper §5.1).
 #include "bench_util.h"
 
-int main() { return pfs::bench::RunCdfFigure("Figure 2", "1a"); }
+int main(int argc, char** argv) { return pfs::bench::RunCdfFigure("Figure 2", "1a", argc, argv, "fig2"); }

@@ -3,4 +3,4 @@
 // write-through (paper §5.1).
 #include "bench_util.h"
 
-int main() { return pfs::bench::RunCdfFigure("Figure 3", "1b"); }
+int main(int argc, char** argv) { return pfs::bench::RunCdfFigure("Figure 3", "1b", argc, argv, "fig3"); }

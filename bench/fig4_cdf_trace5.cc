@@ -3,4 +3,4 @@
 // naive write-saving flush (paper §5.1).
 #include "bench_util.h"
 
-int main() { return pfs::bench::RunCdfFigure("Figure 4", "5"); }
+int main(int argc, char** argv) { return pfs::bench::RunCdfFigure("Figure 4", "5", argc, argv, "fig4"); }

@@ -5,9 +5,10 @@
 // toward the baseline because the NVRAM drain is the bottleneck.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pfs;
   using namespace pfs::bench;
+  JsonSink json("fig5", argc, argv);
   const double scale = DefaultScale();
   const std::vector<std::string> traces = {"1a", "1b", "2a", "2b", "3a", "5"};
 
@@ -34,6 +35,14 @@ int main() {
       }
       const double mean_ms = result->overall.mean().ToMillisF();
       std::printf(" %20.3f", mean_ms);
+      if (json.enabled()) {
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "{\"figure\":\"fig5\",\"trace\":\"%s\",\"policy\":\"%s\","
+                      "\"scale\":%.3f,\"mean_ms\":%.4f}",
+                      trace.c_str(), run.label.c_str(), scale, mean_ms);
+        json.Append(line);
+      }
       if (run.policy == "write-delay") {
         wd = mean_ms;
       } else if (run.policy == "ups") {

@@ -125,7 +125,8 @@ Result<double> RunOnline(const std::string& policy, std::vector<TraceRecord> rec
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonSink json("sim_vs_real", argc, argv);
   std::printf("# Sim-vs-real consistency: same workload, Patsy (virtual) and PFS (real)\n");
   std::printf("%-18s %22s %22s\n", "policy", "patsy blocks-flushed", "pfs blocks-flushed");
 
@@ -151,6 +152,14 @@ int main() {
     }
     std::printf("%-18s %22llu %22.0f\n", policy,
                 static_cast<unsigned long long>(sim->blocks_flushed), *real);
+    if (json.enabled()) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"sim_vs_real\",\"policy\":\"%s\","
+                    "\"patsy_blocks_flushed\":%llu,\"pfs_blocks_flushed\":%.0f}",
+                    policy, static_cast<unsigned long long>(sim->blocks_flushed), *real);
+      json.Append(line);
+    }
     patsy_flushed.emplace_back(policy, static_cast<double>(sim->blocks_flushed));
     pfs_flushed.emplace_back(policy, *real);
   }

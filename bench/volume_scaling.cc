@@ -1,0 +1,107 @@
+// Striped-volume scaling: the same sequential read workload against one LFS
+// file system whose volume stripes over 1, 2, 4, and 8 simulated HP 97560
+// disks (one per SCSI bus, so the busses are not the bottleneck). The volume
+// layer splits each multi-block run at stripe-unit boundaries and fans the
+// fragments out to the member drivers in parallel, so read throughput climbs
+// with member count — the multi-disk parallelism a single-partition file
+// system can never reach. With --json, one line per point goes to
+// BENCH_volume_scaling.json, including the volume's own StatJson.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "system/system_builder.h"
+
+using namespace pfs;
+
+namespace {
+
+constexpr uint32_t kRunBlocks = 512;  // 2 MiB per read run
+constexpr int kRuns = 32;             // 64 MiB per measurement
+
+Result<double> StripedReadMBps(int members, std::string* volume_json) {
+  SystemConfig config;
+  config.backend = BackendKind::kSimulated;
+  config.disks_per_bus.assign(static_cast<size_t>(members), 1);
+  config.num_filesystems = 1;
+  config.cache_bytes = 4 * kMiB;
+  config.lfs_segment_blocks = 64;
+  config.max_inodes = 1024;
+  VolumeSpec spec;
+  spec.kind = members == 1 ? "single" : "striped";
+  spec.stripe_unit_kb = 256;
+  for (int d = 0; d < members; ++d) {
+    spec.members.push_back(d);
+  }
+  config.volumes = {spec};
+
+  PFS_ASSIGN_OR_RETURN(std::unique_ptr<System> system, SystemBuilder::Build(config));
+  PFS_RETURN_IF_ERROR(system->Setup());
+
+  // Read straight through the volume (below the cache, above the drivers):
+  // the same BlockDev the layout uses, so this is exactly the data path a
+  // segment read takes.
+  BlockDev dev(system->volume(0), kDefaultBlockSize);
+  PFS_CHECK(dev.nblocks() >= static_cast<uint64_t>(kRuns) * kRunBlocks);
+  Status status(ErrorCode::kAborted);
+  const TimePoint start = system->scheduler()->Now();
+  system->scheduler()->Spawn("bench.reader", [](BlockDev* d, Status* out) -> Task<> {
+    for (int r = 0; r < kRuns; ++r) {
+      const Status s =
+          co_await d->ReadRun(static_cast<uint64_t>(r) * kRunBlocks, kRunBlocks, {});
+      if (!s.ok()) {
+        *out = s;
+        co_return;
+      }
+    }
+    *out = OkStatus();
+  }(&dev, &status));
+  system->scheduler()->Run();
+  PFS_RETURN_IF_ERROR(status);
+
+  const double seconds = (system->scheduler()->Now() - start).ToSecondsF();
+  if (seconds <= 0) {
+    return Status(ErrorCode::kAborted, "zero elapsed simulated time");
+  }
+  *volume_json = system->volume(0)->StatJson();
+  const double bytes = static_cast<double>(kRuns) * kRunBlocks * kDefaultBlockSize;
+  return bytes / seconds / static_cast<double>(kMiB);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonSink json("volume_scaling", argc, argv);
+  std::printf("# Striped read throughput vs member count (simulated backend)\n");
+  std::printf("# %d x %u-block sequential runs, 256 KiB stripe unit, 1 disk per bus\n",
+              kRuns, kRunBlocks);
+  std::printf("%-8s %14s %10s\n", "members", "read MB/s", "speedup");
+
+  double base = 0;
+  double prev = 0;
+  bool monotonic = true;
+  for (int members : {1, 2, 4, 8}) {
+    std::string volume_json;
+    auto mbps = StripedReadMBps(members, &volume_json);
+    if (!mbps.ok()) {
+      std::printf("ERROR members=%d: %s\n", members, mbps.status().ToString().c_str());
+      return 1;
+    }
+    if (base == 0) {
+      base = *mbps;
+    }
+    monotonic = monotonic && *mbps > prev;
+    prev = *mbps;
+    std::printf("%-8d %14.2f %9.2fx\n", members, *mbps, *mbps / base);
+    if (json.enabled()) {
+      char line[512];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"volume_scaling\",\"members\":%d,\"read_mbps\":%.3f,"
+                    "\"speedup\":%.3f,\"volume\":%s}",
+                    members, *mbps, *mbps / base, volume_json.c_str());
+      json.Append(line);
+    }
+  }
+  std::printf("# throughput strictly increases with member count: %s\n",
+              monotonic ? "yes" : "NO");
+  return monotonic ? 0 : 1;
+}

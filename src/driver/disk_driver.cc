@@ -23,6 +23,31 @@ const char* QueueSchedPolicyName(QueueSchedPolicy p) {
   return "?";
 }
 
+namespace {
+// The one list both the parser and the error message enumerate.
+constexpr QueueSchedPolicy kAllQueueSchedPolicies[] = {
+    QueueSchedPolicy::kFcfs, QueueSchedPolicy::kSstf,  QueueSchedPolicy::kScan,
+    QueueSchedPolicy::kCscan, QueueSchedPolicy::kLook, QueueSchedPolicy::kClook};
+}  // namespace
+
+std::optional<QueueSchedPolicy> QueueSchedPolicyFromName(std::string_view name) {
+  for (QueueSchedPolicy p : kAllQueueSchedPolicies) {
+    if (name == QueueSchedPolicyName(p)) {
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string QueueSchedPolicyNames() {
+  std::string out;
+  for (QueueSchedPolicy p : kAllQueueSchedPolicies) {
+    out += out.empty() ? "" : ", ";
+    out += QueueSchedPolicyName(p);
+  }
+  return out;
+}
+
 QueueingDiskDriver::QueueingDiskDriver(Scheduler* sched, std::string name,
                                        QueueSchedPolicy policy)
     : sched_(sched), name_(std::move(name)), policy_(policy), work_(sched) {}
@@ -159,6 +184,21 @@ std::string QueueingDiskDriver::StatReport(bool with_histograms) const {
     out += "queue-length histogram:\n" + queue_len_.BucketDump();
   }
   return out;
+}
+
+std::string QueueingDiskDriver::StatJson() const {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "{\"policy\":\"%s\",\"ops\":%llu,\"reads\":%llu,\"writes\":%llu,"
+                "\"latency_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f},"
+                "\"queue_wait_ms\":{\"mean\":%.4f,\"p95\":%.4f}}",
+                QueueSchedPolicyName(policy_), static_cast<unsigned long long>(ops_.value()),
+                static_cast<unsigned long long>(reads_.value()),
+                static_cast<unsigned long long>(writes_.value()),
+                latency_.mean().ToMillisF(), latency_.Percentile(0.5).ToMillisF(),
+                latency_.Percentile(0.95).ToMillisF(), queue_wait_.mean().ToMillisF(),
+                queue_wait_.Percentile(0.95).ToMillisF());
+  return buf;
 }
 
 void QueueingDiskDriver::StatResetInterval() {

@@ -9,13 +9,16 @@
 #ifndef PFS_DRIVER_DISK_DRIVER_H_
 #define PFS_DRIVER_DISK_DRIVER_H_
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "disk/io_request.h"
 #include "sched/scheduler.h"
 #include "stats/histogram.h"
 #include "stats/registry.h"
+#include "volume/block_device.h"
 
 namespace pfs {
 
@@ -25,18 +28,15 @@ namespace pfs {
 enum class QueueSchedPolicy : uint8_t { kFcfs, kSstf, kScan, kCscan, kLook, kClook };
 
 const char* QueueSchedPolicyName(QueueSchedPolicy p);
+// Inverse of QueueSchedPolicyName; nullopt for unknown names.
+std::optional<QueueSchedPolicy> QueueSchedPolicyFromName(std::string_view name);
+// "FCFS, SSTF, SCAN, C-SCAN, LOOK, C-LOOK" — for validation error messages.
+std::string QueueSchedPolicyNames();
 
-class DiskDriver {
- public:
-  virtual ~DiskDriver() = default;
-
-  virtual Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) = 0;
-  virtual Task<Status> Write(uint64_t sector, uint32_t count,
-                             std::span<const std::byte> in) = 0;
-
-  virtual uint64_t total_sectors() const = 0;
-  virtual uint32_t sector_bytes() const = 0;
-};
+// A disk driver is the volume layer's leaf device: it satisfies the
+// BlockDevice contract directly, so layouts (through volumes) never see
+// which driver backs them.
+class DiskDriver : public BlockDevice {};
 
 // Base driver: owns the I/O queue and its scheduling policy; derived classes
 // implement Dispatch() for their device. One request is outstanding at the
@@ -54,10 +54,12 @@ class QueueingDiskDriver : public DiskDriver, public StatSource {
   const std::string& name() const { return name_; }
   QueueSchedPolicy policy() const { return policy_; }
   size_t queue_length() const { return queue_.size(); }
+  size_t QueueDepthHint() const override { return queue_.size(); }
 
   // StatSource
   std::string stat_name() const override { return "driver." + name_; }
   std::string StatReport(bool with_histograms) const override;
+  std::string StatJson() const override;
   void StatResetInterval() override;
 
   uint64_t ops_completed() const { return ops_.value(); }

@@ -1,5 +1,5 @@
 // Shared storage-layout types: file types, disk addressing, and the
-// block-addressed device adapter over a (sector-addressed) disk driver.
+// block-addressed adapter over a (sector-addressed) BlockDevice.
 #ifndef PFS_LAYOUT_TYPES_H_
 #define PFS_LAYOUT_TYPES_H_
 
@@ -8,7 +8,7 @@
 
 #include "core/result.h"
 #include "core/units.h"
-#include "driver/disk_driver.h"
+#include "volume/block_device.h"
 
 namespace pfs {
 
@@ -26,56 +26,63 @@ const char* FileTypeName(FileType t);
 // partition. 0 is the superblock, so 0 doubles as the null address.
 inline constexpr uint64_t kNullAddr = 0;
 
-// A partition of a disk, in file-system blocks, with gather/scatter helpers.
-// Spans may be empty: the simulated driver accounts time from the sector
-// count alone (the paper's "no real data is moved" rule).
+// The layouts' view of their storage: a BlockDevice addressed in file-system
+// blocks, with gather/scatter helpers. The device is a volume — one disk's
+// partition slice, or a striped/mirrored/concatenated composition; the
+// layout cannot tell the difference (that is the point). Spans may be empty:
+// the simulated backend accounts time from the sector count alone (the
+// paper's "no real data is moved" rule).
 class BlockDev {
  public:
-  BlockDev(DiskDriver* driver, uint32_t block_size, uint64_t start_block, uint64_t nblocks)
-      : driver_(driver),
+  BlockDev(BlockDevice* device, uint32_t block_size)
+      : device_(device),
         block_size_(block_size),
-        start_block_(start_block),
-        nblocks_(nblocks),
-        sectors_per_block_(block_size / driver->sector_bytes()) {
-    PFS_CHECK(block_size % driver->sector_bytes() == 0);
-    PFS_CHECK((start_block + nblocks) * sectors_per_block_ <= driver->total_sectors());
-  }
+        sectors_per_block_(SectorsPerBlock(device, block_size)),
+        nblocks_(device->total_sectors() / sectors_per_block_) {}
 
   Task<Status> Read(uint64_t block_addr, std::span<std::byte> out) {
     PFS_CHECK(block_addr < nblocks_);
-    co_return co_await driver_->Read((start_block_ + block_addr) * sectors_per_block_,
-                                     sectors_per_block_, out);
+    co_return co_await device_->Read(block_addr * sectors_per_block_, sectors_per_block_,
+                                     out);
   }
 
   Task<Status> Write(uint64_t block_addr, std::span<const std::byte> in) {
     PFS_CHECK(block_addr < nblocks_);
-    co_return co_await driver_->Write((start_block_ + block_addr) * sectors_per_block_,
-                                      sectors_per_block_, in);
+    co_return co_await device_->Write(block_addr * sectors_per_block_, sectors_per_block_,
+                                      in);
   }
 
   // One contiguous multi-block transfer — how the log writes whole segments.
   Task<Status> WriteRun(uint64_t block_addr, uint32_t count, std::span<const std::byte> in) {
     PFS_CHECK(block_addr + count <= nblocks_);
-    co_return co_await driver_->Write((start_block_ + block_addr) * sectors_per_block_,
+    co_return co_await device_->Write(block_addr * sectors_per_block_,
                                       count * sectors_per_block_, in);
   }
 
   Task<Status> ReadRun(uint64_t block_addr, uint32_t count, std::span<std::byte> out) {
     PFS_CHECK(block_addr + count <= nblocks_);
-    co_return co_await driver_->Read((start_block_ + block_addr) * sectors_per_block_,
+    co_return co_await device_->Read(block_addr * sectors_per_block_,
                                      count * sectors_per_block_, out);
   }
 
   uint64_t nblocks() const { return nblocks_; }
   uint32_t block_size() const { return block_size_; }
-  DiskDriver* driver() { return driver_; }
+  BlockDevice* device() { return device_; }
 
  private:
-  DiskDriver* driver_;
+  // Checked before any division, so a block size that is zero or not a
+  // multiple of the sector fails with a message instead of a SIGFPE in the
+  // initializer list.
+  static uint32_t SectorsPerBlock(BlockDevice* device, uint32_t block_size) {
+    PFS_CHECK(device->sector_bytes() != 0);
+    PFS_CHECK(block_size != 0 && block_size % device->sector_bytes() == 0);
+    return block_size / device->sector_bytes();
+  }
+
+  BlockDevice* device_;
   uint32_t block_size_;
-  uint64_t start_block_;
-  uint64_t nblocks_;
   uint32_t sectors_per_block_;
+  uint64_t nblocks_;
 };
 
 }  // namespace pfs

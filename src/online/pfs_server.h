@@ -56,7 +56,9 @@ class PfsServer {
     std::future<Status> future = promise.get_future();
     Scheduler* sched = system_->scheduler();
     sched->Post([this, sched, fn = std::move(fn), &promise]() mutable {
-      sched->Spawn("pfs.request", RunAndFulfill(std::move(fn), &promise));
+      // Transient: completion travels through the promise, nobody joins the
+      // thread, and a long-lived server must not accumulate request records.
+      sched->SpawnTransient("pfs.request", RunAndFulfill(std::move(fn), &promise));
     });
     return future.get();
   }

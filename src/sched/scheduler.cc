@@ -85,11 +85,13 @@ std::unique_ptr<Scheduler> Scheduler::CreateReal(uint64_t seed) {
   return std::make_unique<Scheduler>(std::make_unique<RealClock>(), seed);
 }
 
-Thread* Scheduler::SpawnImpl(std::string name, bool daemon, Task<> body) {
+Thread* Scheduler::SpawnImpl(std::string name, bool daemon, Task<> body, bool transient) {
   PFS_CHECK_MSG(body.valid(), "Spawn of an empty task");
   auto thread = std::unique_ptr<Thread>(
       new Thread(this, next_thread_id_++, std::move(name), daemon, std::move(body)));
   Thread* t = thread.get();
+  t->transient_ = transient;
+  t->slot_ = threads_.size();
   threads_.push_back(std::move(thread));
   if (!daemon) {
     ++live_non_daemon_;
@@ -135,6 +137,16 @@ void Scheduler::FinishThread(Thread* t) {
   t->done_.Notify();
   // Release the coroutine frame now; the Thread record stays for bookkeeping.
   t->body_ = Task<>();
+  if (t->transient_) {
+    // By the SpawnTransient contract no one holds this pointer, so the
+    // record can be reclaimed (swap-with-back keeps the vector dense).
+    const size_t slot = t->slot_;
+    if (slot != threads_.size() - 1) {
+      threads_[slot] = std::move(threads_.back());
+      threads_[slot]->slot_ = slot;
+    }
+    threads_.pop_back();
+  }
 }
 
 void Scheduler::SuspendCurrentUntil(std::coroutine_handle<> h, TimePoint wake) {

@@ -95,6 +95,8 @@ class Thread {
   uint64_t id_;
   std::string name_;
   bool daemon_;
+  bool transient_ = false;  // record reclaimed on finish (SpawnTransient)
+  size_t slot_ = 0;         // index in Scheduler::threads_
   Task<> body_;
   std::coroutine_handle<> resume_point_;
   ThreadState state_ = ThreadState::kRunnable;
@@ -123,6 +125,15 @@ class Scheduler {
   // mechanisms) do not.
   Thread* Spawn(std::string name, Task<> body) { return SpawnImpl(std::move(name), false, std::move(body)); }
   Thread* SpawnDaemon(std::string name, Task<> body) { return SpawnImpl(std::move(name), true, std::move(body)); }
+
+  // Fire-and-forget: the Thread record is reclaimed as soon as the body
+  // finishes, so per-request spawns (volume fan-out fragments, on-line
+  // request handlers) do not grow `threads_` without bound. Contract: the
+  // caller must NOT retain the returned pointer or join on done() — use an
+  // Event of its own for completion (a reclaimed record may be reused).
+  Thread* SpawnTransient(std::string name, Task<> body) {
+    return SpawnImpl(std::move(name), false, std::move(body), true);
+  }
 
   // Runs until no non-daemon work remains (or RequestStop). With
   // set_keep_alive(true) — the on-line server mode — Run() only returns on
@@ -161,6 +172,9 @@ class Scheduler {
   Thread* current_thread() { return current_; }
   uint64_t context_switches() const { return context_switches_; }
   size_t live_thread_count() const;
+  // All retained records, finished or not (transient ones drop out on
+  // finish) — lets tests assert per-request spawns do not accumulate.
+  size_t thread_record_count() const { return threads_.size(); }
 
   // Writes a one-line-per-thread state dump to stderr (deadlock diagnosis).
   void DumpThreads() const;
@@ -207,7 +221,7 @@ class Scheduler {
     }
   };
 
-  Thread* SpawnImpl(std::string name, bool daemon, Task<> body);
+  Thread* SpawnImpl(std::string name, bool daemon, Task<> body, bool transient = false);
 
   // Called from awaiters, always on the scheduler's OS thread.
   void SuspendCurrentUntil(std::coroutine_handle<> h, TimePoint wake);

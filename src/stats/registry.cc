@@ -16,6 +16,18 @@ std::string StatsRegistry::ReportAll(bool with_histograms) const {
   return out;
 }
 
+std::string StatsRegistry::ReportJson() const {
+  std::string out = "{";
+  for (const StatSource* source : sources_) {
+    if (out.size() > 1) {
+      out += ",";
+    }
+    out += "\"" + source->stat_name() + "\":" + source->StatJson();
+  }
+  out += "}";
+  return out;
+}
+
 void StatsRegistry::ResetIntervalAll() {
   for (StatSource* source : sources_) {
     source->StatResetInterval();

@@ -24,6 +24,10 @@ class StatSource {
   // Clears per-interval state after an interval report. Cumulative state may
   // be kept; default is no-op.
   virtual void StatResetInterval() {}
+
+  // One JSON object with the source's machine-readable numbers (the text
+  // report is for humans). Sources without one report an empty object.
+  virtual std::string StatJson() const { return "{}"; }
 };
 
 class StatsRegistry {
@@ -32,6 +36,12 @@ class StatsRegistry {
   void Register(StatSource* source) { sources_.push_back(source); }
 
   std::string ReportAll(bool with_histograms) const;
+
+  // `{"<stat_name>": <StatJson()>, ...}` — one JSON object over every
+  // registered source, so bench runs can append results to a BENCH_*.json
+  // file instead of scraping the text reports.
+  std::string ReportJson() const;
+
   void ResetIntervalAll();
 
   const std::vector<StatSource*>& sources() const { return sources_; }

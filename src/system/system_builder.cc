@@ -1,5 +1,6 @@
 #include "system/system_builder.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "driver/file_backed_driver.h"
@@ -34,6 +35,148 @@ uint64_t DiskBlocks(const SystemConfig& config) {
     return 0;
   }
   return total_sectors / (kDefaultBlockSize / sector_bytes);
+}
+
+// Where file system f's volume lives on the disks: one block-aligned slice
+// per member reference. Disks referenced by several volumes are partitioned
+// evenly, which reduces to the seed's round-robin partitioning when no
+// volume specs are given.
+struct SlicePlan {
+  int disk;
+  uint64_t start_sector;
+  uint64_t nsectors;
+};
+
+struct VolumePlan {
+  VolumeSpec spec;
+  std::vector<SlicePlan> slices;
+  uint64_t fs_blocks = 0;  // file-system blocks the finished volume offers
+};
+
+Result<std::vector<VolumePlan>> PlanVolumes(const SystemConfig& config) {
+  const int total_disks = TotalDisks(config);
+  const uint32_t sector_bytes = config.simulated() ? config.disk_params.geometry.sector_bytes
+                                                   : FileBackedDriver::kSectorBytes;
+  const uint32_t spb = kDefaultBlockSize / sector_bytes;
+  const uint64_t disk_blocks = DiskBlocks(config);
+
+  const bool defaulted = config.volumes.empty();
+  std::vector<VolumeSpec> specs = config.volumes;
+  if (defaulted) {
+    specs.resize(static_cast<size_t>(config.num_filesystems));
+    for (int f = 0; f < config.num_filesystems; ++f) {
+      specs[static_cast<size_t>(f)].members = {f % total_disks};
+    }
+  } else if (static_cast<int>(specs.size()) != config.num_filesystems) {
+    return Invalid("volumes: " + std::to_string(specs.size()) + " volume spec(s) for " +
+                   std::to_string(config.num_filesystems) + " file systems");
+  }
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const VolumeSpec& spec = specs[i];
+    const std::string prefix = "volumes[" + std::to_string(i) + "]";
+    if (spec.kind != "single" && spec.kind != "concat" && spec.kind != "striped" &&
+        spec.kind != "mirror") {
+      return Invalid(prefix + ".kind: unknown name \"" + spec.kind +
+                     "\" (expected single, concat, striped, or mirror)");
+    }
+    if (spec.members.empty()) {
+      return Invalid(prefix + ".members: at least one disk is required");
+    }
+    if (spec.kind == "single" && spec.members.size() != 1) {
+      return Invalid(prefix + ".members: kind \"single\" takes exactly one disk, got " +
+                     std::to_string(spec.members.size()));
+    }
+    for (size_t m = 0; m < spec.members.size(); ++m) {
+      const int d = spec.members[m];
+      if (d < 0 || d >= total_disks) {
+        return Invalid(prefix + ".members: disk index " + std::to_string(d) +
+                       " outside the topology's " + std::to_string(total_disks) + " disk(s)");
+      }
+      // A repeated disk gives a mirror with zero redundancy and a stripe
+      // that serializes on one spindle — always a misconfiguration.
+      for (size_t prev = 0; prev < m; ++prev) {
+        if (spec.members[prev] == d) {
+          return Invalid(prefix + ".members: disk " + std::to_string(d) + " listed twice");
+        }
+      }
+    }
+    if (spec.kind == "striped") {
+      if (spec.stripe_unit_kb == 0) {
+        return Invalid(prefix + ".stripe_unit_kb: stripe unit must be positive");
+      }
+      // Units must be whole sectors, or the unit arithmetic truncates (and a
+      // unit smaller than one sector would divide by zero below).
+      if (spec.stripe_unit_kb * kKiB % sector_bytes != 0) {
+        return Invalid(prefix + ".stripe_unit_kb: " + std::to_string(spec.stripe_unit_kb) +
+                       " KiB is not a multiple of the " + std::to_string(sector_bytes) +
+                       "-byte sector");
+      }
+    }
+  }
+
+  // Evenly partition each disk among the volumes that reference it.
+  std::vector<uint64_t> refs(static_cast<size_t>(total_disks), 0);
+  for (const VolumeSpec& spec : specs) {
+    for (int d : spec.members) {
+      ++refs[static_cast<size_t>(d)];
+    }
+  }
+  std::vector<uint64_t> next_slot(static_cast<size_t>(total_disks), 0);
+  std::vector<VolumePlan> plans;
+  plans.reserve(specs.size());
+  const uint64_t min_blocks = SystemBuilder::MinBlocksPerFilesystem(config);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    VolumePlan plan;
+    plan.spec = specs[i];
+    for (int d : plan.spec.members) {
+      const uint64_t slice_blocks = disk_blocks / refs[static_cast<size_t>(d)];
+      if (slice_blocks == 0) {
+        return Invalid("volumes: disk " + std::to_string(d) + " split " +
+                       std::to_string(refs[static_cast<size_t>(d)]) +
+                       " ways leaves zero blocks per slice");
+      }
+      const uint64_t start_block = slice_blocks * next_slot[static_cast<size_t>(d)]++;
+      plan.slices.push_back({d, start_block * spb, slice_blocks * spb});
+    }
+    // Capacity via the volume classes' own formulas, so Validate can never
+    // accept a config whose constructed volume sizes itself differently.
+    std::vector<uint64_t> slice_sectors;
+    for (const SlicePlan& s : plan.slices) {
+      slice_sectors.push_back(s.nsectors);
+    }
+    if (plan.spec.kind == "concat") {
+      plan.fs_blocks = ConcatVolume::CapacitySectors(slice_sectors) / spb;
+    } else if (plan.spec.kind == "mirror") {
+      plan.fs_blocks = MirrorVolume::CapacitySectors(slice_sectors) / spb;
+    } else if (plan.spec.kind == "striped") {
+      const uint32_t unit_sectors =
+          static_cast<uint32_t>(plan.spec.stripe_unit_kb * kKiB / sector_bytes);
+      const uint64_t capacity = StripedVolume::CapacitySectors(slice_sectors, unit_sectors);
+      if (capacity == 0) {
+        return Invalid("volumes[" + std::to_string(i) +
+                       "].stripe_unit_kb: one stripe unit exceeds the smallest member "
+                       "slice");
+      }
+      plan.fs_blocks = capacity / spb;
+    } else {
+      plan.fs_blocks = slice_sectors[0] / spb;
+    }
+    if (plan.fs_blocks < min_blocks) {
+      if (defaulted) {
+        return Invalid("num_filesystems: " + std::to_string(config.num_filesystems) + " " +
+                       config.layout + " file systems over " + std::to_string(total_disks) +
+                       " disk(s) leave " + std::to_string(plan.fs_blocks) +
+                       " blocks per partition; the layout needs " +
+                       std::to_string(min_blocks));
+      }
+      return Invalid("volumes[" + std::to_string(i) + "]: " + plan.spec.kind +
+                     " volume offers " + std::to_string(plan.fs_blocks) + " blocks; the " +
+                     config.layout + " layout needs " + std::to_string(min_blocks));
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
 }
 
 std::unique_ptr<FlushPolicy> MakeConfiguredFlushPolicy(const SystemConfig& config) {
@@ -136,7 +279,11 @@ uint64_t SystemBuilder::MinBlocksPerFilesystem(const SystemConfig& config) {
   return LfsLayout::MinPartitionBlocks(lfs);
 }
 
-Status SystemBuilder::Validate(const SystemConfig& config) {
+namespace {
+
+// Everything except volume placement (PlanVolumes covers that, and both
+// Validate and Build need the plan, so it is computed once per caller).
+Status ValidateStack(const SystemConfig& config) {
   if (config.disks_per_bus.empty()) {
     return Invalid("disks_per_bus: at least one bus is required");
   }
@@ -155,6 +302,10 @@ Status SystemBuilder::Validate(const SystemConfig& config) {
   if (config.layout != "lfs" && config.layout != "ffs" && config.layout != "guessing") {
     return Invalid("layout: unknown name \"" + config.layout +
                    "\" (expected lfs, ffs, or guessing)");
+  }
+  if (!QueueSchedPolicyFromName(config.queue_policy).has_value()) {
+    return Invalid("queue_policy: unknown name \"" + config.queue_policy + "\" (expected " +
+                   QueueSchedPolicyNames() + ")");
   }
   if (config.cleaner != "greedy" && config.cleaner != "cost-benefit") {
     return Invalid("cleaner: unknown name \"" + config.cleaner +
@@ -185,30 +336,26 @@ Status SystemBuilder::Validate(const SystemConfig& config) {
       return Invalid("io_threads: the file-backed backend needs at least one");
     }
   }
-  const uint64_t disk_blocks = DiskBlocks(config);
-  if (disk_blocks == 0) {
+  if (DiskBlocks(config) == 0) {
     return Invalid("disk geometry: block size is not a multiple of the sector size");
-  }
-  // The round-robin placement puts ceil(num_filesystems / total_disks) file
-  // systems on the fullest disk; every resulting partition must still hold a
-  // formattable file system.
-  const uint64_t max_fs_on_disk =
-      (static_cast<uint64_t>(config.num_filesystems) + static_cast<uint64_t>(total_disks) -
-       1) /
-      static_cast<uint64_t>(total_disks);
-  const uint64_t partition_blocks = disk_blocks / max_fs_on_disk;
-  const uint64_t min_blocks = MinBlocksPerFilesystem(config);
-  if (partition_blocks < min_blocks) {
-    return Invalid("num_filesystems: " + std::to_string(config.num_filesystems) + " " +
-                   config.layout + " file systems over " + std::to_string(total_disks) +
-                   " disk(s) leave " + std::to_string(partition_blocks) +
-                   " blocks per partition; the layout needs " + std::to_string(min_blocks));
   }
   return OkStatus();
 }
 
+}  // namespace
+
+Status SystemBuilder::Validate(const SystemConfig& config) {
+  PFS_RETURN_IF_ERROR(ValidateStack(config));
+  // Volume placement subsumes the partition-size check: every file system's
+  // volume (explicit, or the default round-robin single-disk slice) must
+  // still hold a formattable file system.
+  return PlanVolumes(config).status();
+}
+
 Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config) {
-  PFS_RETURN_IF_ERROR(Validate(config));
+  PFS_RETURN_IF_ERROR(ValidateStack(config));
+  PFS_ASSIGN_OR_RETURN(std::vector<VolumePlan> plans, PlanVolumes(config));
+  const QueueSchedPolicy queue_policy = *QueueSchedPolicyFromName(config.queue_policy);
   auto system = std::unique_ptr<System>(new System());
   System& sys = *system;
   sys.config_ = config;
@@ -227,7 +374,7 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
         disk->Start();
         auto driver =
             std::make_unique<SimDiskDriver>(sched, name, disk.get(), bus.get(),
-                                            config.queue_policy);
+                                            queue_policy);
         driver->Start();
         sys.stats_.Register(disk.get());
         sys.stats_.Register(driver.get());
@@ -247,7 +394,7 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
       PFS_ASSIGN_OR_RETURN(
           std::unique_ptr<FileBackedDriver> driver,
           FileBackedDriver::Create(sched, std::string("d") + std::to_string(i), path, config.image_bytes,
-                                   sys.executor_.get(), config.queue_policy));
+                                   sys.executor_.get(), queue_policy));
       driver->Start();
       sys.stats_.Register(driver.get());
       sys.drivers_.push_back(std::move(driver));
@@ -270,23 +417,43 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
     sys.mover_ = std::make_unique<RealDataMover>();
   }
 
-  // File systems, round-robin over the disks; disks hosting several file
-  // systems are partitioned evenly (the paper's server had 14 on 10 disks).
-  const int ndisks = static_cast<int>(sys.drivers_.size());
-  std::vector<int> fs_on_disk(static_cast<size_t>(ndisks), 0);
-  for (int f = 0; f < config.num_filesystems; ++f) {
-    ++fs_on_disk[static_cast<size_t>(f % ndisks)];
-  }
-  std::vector<int> next_slot(static_cast<size_t>(ndisks), 0);
+  // File systems over their volumes. The default plan reduces to the seed's
+  // round-robin slices (the paper's server had 14 file systems on 10 disks);
+  // explicit volume specs compose slices into concat/striped/mirror devices.
   sys.client_ = std::make_unique<LocalClient>(sched);
   for (int f = 0; f < config.num_filesystems; ++f) {
-    const int d = f % ndisks;
-    DiskDriver* driver = sys.drivers_[static_cast<size_t>(d)].get();
-    const uint64_t disk_blocks =
-        driver->total_sectors() / (kDefaultBlockSize / driver->sector_bytes());
-    const uint64_t part_blocks = disk_blocks / static_cast<uint64_t>(fs_on_disk[d]);
-    const uint64_t start = part_blocks * static_cast<uint64_t>(next_slot[d]++);
-    BlockDev dev(driver, kDefaultBlockSize, start, part_blocks);
+    const VolumePlan& plan = plans[static_cast<size_t>(f)];
+    const std::string vol_name = config.mount_prefix + std::to_string(f);
+    std::vector<BlockDevice*> members;
+    std::unique_ptr<Volume> top;
+    if (plan.spec.kind == "single") {
+      const SlicePlan& s = plan.slices[0];
+      top = std::make_unique<SingleDiskVolume>(
+          sched, vol_name, sys.drivers_[static_cast<size_t>(s.disk)].get(), s.start_sector,
+          s.nsectors);
+    } else {
+      for (size_t j = 0; j < plan.slices.size(); ++j) {
+        const SlicePlan& s = plan.slices[j];
+        auto part = std::make_unique<SingleDiskVolume>(
+            sched, vol_name + ".m" + std::to_string(j),
+            sys.drivers_[static_cast<size_t>(s.disk)].get(), s.start_sector, s.nsectors);
+        members.push_back(part.get());
+        sys.volume_parts_.push_back(std::move(part));
+      }
+      if (plan.spec.kind == "concat") {
+        top = std::make_unique<ConcatVolume>(sched, vol_name, std::move(members));
+      } else if (plan.spec.kind == "striped") {
+        const uint32_t unit_sectors = static_cast<uint32_t>(
+            plan.spec.stripe_unit_kb * kKiB / sys.drivers_[0]->sector_bytes());
+        top = std::make_unique<StripedVolume>(sched, vol_name, std::move(members),
+                                              unit_sectors);
+      } else {
+        top = std::make_unique<MirrorVolume>(sched, vol_name, std::move(members));
+      }
+    }
+    sys.stats_.Register(top.get());
+    BlockDev dev(top.get(), kDefaultBlockSize);
+    sys.fs_volumes_.push_back(std::move(top));
     auto layout = MakeLayout(sched, std::move(dev), config, f, &sys.stats_);
     auto fs = std::make_unique<FileSystem>(sched, layout.get(), sys.cache_.get(),
                                            sys.mover_.get());

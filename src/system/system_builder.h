@@ -16,11 +16,13 @@
 #include "cache/data_mover.h"
 #include "client/local_client.h"
 #include "disk/disk_model.h"
+#include "driver/disk_driver.h"
 #include "driver/io_executor.h"
 #include "fs/file_system.h"
 #include "layout/storage_layout.h"
 #include "stats/registry.h"
 #include "system/system_config.h"
+#include "volume/volume.h"
 
 namespace pfs {
 
@@ -56,6 +58,10 @@ class System {
   const std::vector<std::unique_ptr<DiskModel>>& disks() const { return disks_; }
   // Every disk's driver, simulated or file-backed.
   const std::vector<std::unique_ptr<QueueingDiskDriver>>& drivers() const { return drivers_; }
+  // The volume backing file system `fs_index` (what its layout reads and
+  // writes through), and all per-fs volumes in mount order.
+  Volume* volume(int fs_index) { return fs_volumes_[static_cast<size_t>(fs_index)].get(); }
+  const std::vector<std::unique_ptr<Volume>>& volumes() const { return fs_volumes_; }
 
   std::string StatReport(bool with_histograms) { return stats_.ReportAll(with_histograms); }
 
@@ -69,6 +75,11 @@ class System {
   std::vector<std::unique_ptr<ScsiBus>> busses_;
   std::vector<std::unique_ptr<DiskModel>> disks_;
   std::vector<std::unique_ptr<QueueingDiskDriver>> drivers_;
+  // Declaration order is destruction-safety order: layouts reference the
+  // fs volumes, composite volumes reference their member slices, and every
+  // slice references a driver.
+  std::vector<std::unique_ptr<Volume>> volume_parts_;  // member slices of composites
+  std::vector<std::unique_ptr<Volume>> fs_volumes_;    // one per file system
   std::vector<std::unique_ptr<StorageLayout>> layouts_;
   std::unique_ptr<BufferCache> cache_;
   std::unique_ptr<DataMover> mover_;

@@ -15,7 +15,6 @@
 #include "cache/data_mover.h"
 #include "core/units.h"
 #include "disk/disk_model.h"
-#include "driver/disk_driver.h"
 
 namespace pfs {
 
@@ -35,6 +34,16 @@ enum class ClockKind : uint8_t {
 const char* BackendKindName(BackendKind k);
 const char* ClockKindName(ClockKind k);
 
+// One file system's storage volume: which disks back it and how they are
+// composed. Disk indices refer to the flattened topology (bus-major order,
+// the same numbering as System::drivers()). A disk referenced by several
+// volumes is partitioned evenly among them.
+struct VolumeSpec {
+  std::string kind = "single";  // single | concat | striped | mirror
+  std::vector<int> members;     // disk indices; "single" takes exactly one
+  uint32_t stripe_unit_kb = 64;  // striped only: stripe unit size
+};
+
 struct SystemConfig {
   // -- instantiation -------------------------------------------------------
   BackendKind backend = BackendKind::kSimulated;
@@ -47,7 +56,13 @@ struct SystemConfig {
   std::vector<int> disks_per_bus = {4, 3, 3};
   int num_filesystems = 14;
   DiskParams disk_params = DiskParams::Hp97560();
-  QueueSchedPolicy queue_policy = QueueSchedPolicy::kClook;
+  // Disk-queue scheduling policy name (round-trips with
+  // QueueSchedPolicyName): FCFS, SSTF, SCAN, C-SCAN, LOOK, or C-LOOK.
+  std::string queue_policy = "C-LOOK";
+
+  // Per-file-system volumes (volumes[f] backs file system f). Empty: every
+  // file system gets a single-disk volume, round-robin over the disks.
+  std::vector<VolumeSpec> volumes;
 
   // -- file-backed backend -------------------------------------------------
   // Disk 0 uses `image_path` verbatim; disk i > 0 appends ".i".

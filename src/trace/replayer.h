@@ -53,6 +53,7 @@ class TraceReplayer : public StatSource {
   // StatSource (the 15-minute interval reports read these).
   std::string stat_name() const override { return "replayer"; }
   std::string StatReport(bool with_histograms) const override;
+  std::string StatJson() const override;
   void StatResetInterval() override;
 
  private:

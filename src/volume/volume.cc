@@ -1,0 +1,484 @@
+#include "volume/volume.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pfs {
+namespace {
+
+std::span<std::byte> SubSpan(std::span<std::byte> s, uint64_t off, uint64_t len) {
+  return s.empty() ? s : s.subspan(static_cast<size_t>(off), static_cast<size_t>(len));
+}
+
+std::span<const std::byte> SubSpan(std::span<const std::byte> s, uint64_t off, uint64_t len) {
+  return s.empty() ? s : s.subspan(static_cast<size_t>(off), static_cast<size_t>(len));
+}
+
+// Countdown join for a fan-out: lives in the issuing coroutine's frame, so
+// the workers need no joinable Thread records (they are spawned transient
+// and reclaimed on finish).
+struct FanoutJoin {
+  FanoutJoin(Scheduler* sched, size_t n) : remaining(n), done(sched) {}
+  size_t remaining;
+  Event done;
+};
+
+// One member's share of a split request, run as its own scheduler thread so
+// the members seek and transfer concurrently.
+Task<> FragmentIo(BlockDevice* member, bool is_write, uint64_t sector, uint32_t count,
+                  std::span<std::byte> out, std::span<const std::byte> in, Status* result,
+                  FanoutJoin* join) {
+  if (is_write) {
+    *result = co_await member->Write(sector, count, in);
+  } else {
+    *result = co_await member->Read(sector, count, out);
+  }
+  if (--join->remaining == 0) {
+    join->done.Signal();
+  }
+}
+
+}  // namespace
+
+Volume::Volume(Scheduler* sched, std::string name, std::vector<BlockDevice*> members)
+    : sched_(sched), name_(std::move(name)), members_(std::move(members)) {
+  PFS_CHECK_MSG(!members_.empty(), "volume needs at least one member");
+  sector_bytes_ = members_[0]->sector_bytes();
+  for (const BlockDevice* m : members_) {
+    PFS_CHECK_MSG(m->sector_bytes() == sector_bytes_, "volume members disagree on sector size");
+  }
+  member_reads_.resize(members_.size());
+  member_writes_.resize(members_.size());
+}
+
+Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
+                                  std::span<const std::byte> in,
+                                  const std::vector<Fragment>& fragments,
+                                  std::vector<Status>* per_fragment) {
+  requests_.Inc();
+  // Alloc-free fan-out tracking; members beyond 64 share the last bit (the
+  // histogram clamps far earlier anyway).
+  uint64_t seen = 0;
+  int distinct = 0;
+  for (const Fragment& f : fragments) {
+    const uint64_t bit = uint64_t{1} << std::min<size_t>(f.member, 63);
+    if ((seen & bit) == 0) {
+      seen |= bit;
+      ++distinct;
+    }
+    (is_write ? member_writes_ : member_reads_)[f.member].Inc();
+  }
+  fanout_.Record(static_cast<double>(distinct));
+  if (fragments.empty()) {
+    co_return OkStatus();
+  }
+  if (fragments.size() == 1) {
+    const Fragment& f = fragments[0];
+    const uint64_t bytes = static_cast<uint64_t>(f.count) * sector_bytes_;
+    Status status;
+    if (is_write) {
+      status = co_await members_[f.member]->Write(f.sector, f.count,
+                                                  SubSpan(in, f.byte_offset, bytes));
+    } else {
+      status = co_await members_[f.member]->Read(f.sector, f.count,
+                                                 SubSpan(out, f.byte_offset, bytes));
+    }
+    if (per_fragment != nullptr) {
+      per_fragment->assign(1, status);
+    }
+    co_return status;
+  }
+  // "Split" means partitioned into distinct address pieces — a mirror's
+  // whole-range replica writes fan out without splitting anything.
+  for (size_t i = 1; i < fragments.size(); ++i) {
+    if (fragments[i].sector != fragments[0].sector ||
+        fragments[i].count != fragments[0].count) {
+      split_requests_.Inc();
+      break;
+    }
+  }
+  std::vector<Status> results(fragments.size(), Status(ErrorCode::kAborted));
+  FanoutJoin join(sched_, fragments.size());
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    const Fragment& f = fragments[i];
+    const uint64_t bytes = static_cast<uint64_t>(f.count) * sector_bytes_;
+    sched_->SpawnTransient(name_ + ".io",
+                           FragmentIo(members_[f.member], is_write, f.sector, f.count,
+                                      SubSpan(out, f.byte_offset, bytes),
+                                      SubSpan(in, f.byte_offset, bytes), &results[i],
+                                      &join));
+  }
+  while (join.remaining > 0) {
+    co_await join.done.Wait();
+  }
+  Status first_error = OkStatus();
+  for (const Status& s : results) {
+    if (!s.ok() && first_error.ok()) {
+      first_error = s;
+    }
+  }
+  if (per_fragment != nullptr) {
+    *per_fragment = std::move(results);
+  }
+  co_return first_error;
+}
+
+std::string Volume::StatReport(bool with_histograms) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "kind=%s members=%zu sectors=%llu requests=%llu split=%llu\nfan-out: %s\n",
+                kind(), members_.size(), static_cast<unsigned long long>(total_sectors()),
+                static_cast<unsigned long long>(requests_.value()),
+                static_cast<unsigned long long>(split_requests_.value()),
+                fanout_.Summary().c_str());
+  std::string out(buf);
+  for (size_t i = 0; i < members_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "member %zu: reads=%llu writes=%llu\n", i,
+                  static_cast<unsigned long long>(member_reads_[i].value()),
+                  static_cast<unsigned long long>(member_writes_[i].value()));
+    out += buf;
+  }
+  if (with_histograms) {
+    out += "fan-out histogram:\n" + fanout_.BucketDump();
+  }
+  return out;
+}
+
+std::string Volume::StatJson() const {
+  char buf[160];
+  std::string out = "{\"kind\":\"";
+  out += kind();
+  out += "\",\"members\":[";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s{\"reads\":%llu,\"writes\":%llu}", i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(member_reads_[i].value()),
+                  static_cast<unsigned long long>(member_writes_[i].value()));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"requests\":%llu,\"split_requests\":%llu,\"fanout_mean\":%.3f}",
+                static_cast<unsigned long long>(requests_.value()),
+                static_cast<unsigned long long>(split_requests_.value()), fanout_.mean());
+  out += buf;
+  return out;
+}
+
+void Volume::StatResetInterval() { fanout_.Reset(); }
+
+// -- SingleDiskVolume --------------------------------------------------------
+
+SingleDiskVolume::SingleDiskVolume(Scheduler* sched, std::string name, BlockDevice* backing,
+                                   uint64_t start_sector, uint64_t nsectors)
+    : Volume(sched, std::move(name), {backing}), start_(start_sector), nsectors_(nsectors) {
+  PFS_CHECK_MSG(start_ + nsectors_ <= backing->total_sectors(),
+                "partition slice beyond the end of the backing device");
+}
+
+SingleDiskVolume::SingleDiskVolume(Scheduler* sched, std::string name, BlockDevice* backing)
+    : SingleDiskVolume(sched, std::move(name), backing, 0, backing->total_sectors()) {}
+
+// The hottest path in the system (every cache miss and flush of the default
+// configuration, and every fragment of a composite volume): no allocations,
+// just the offset and the counters.
+Task<Status> SingleDiskVolume::Read(uint64_t sector, uint32_t count,
+                                    std::span<std::byte> out) {
+  PFS_CHECK(sector + count <= nsectors_);
+  requests_.Inc();
+  member_reads_[0].Inc();
+  fanout_.Record(1);
+  co_return co_await members_[0]->Read(start_ + sector, count, out);
+}
+
+Task<Status> SingleDiskVolume::Write(uint64_t sector, uint32_t count,
+                                     std::span<const std::byte> in) {
+  PFS_CHECK(sector + count <= nsectors_);
+  requests_.Inc();
+  member_writes_[0].Inc();
+  fanout_.Record(1);
+  co_return co_await members_[0]->Write(start_ + sector, count, in);
+}
+
+// -- ConcatVolume ------------------------------------------------------------
+
+namespace {
+std::vector<uint64_t> MemberSectors(const std::vector<BlockDevice*>& members) {
+  std::vector<uint64_t> sizes;
+  sizes.reserve(members.size());
+  for (const BlockDevice* m : members) {
+    sizes.push_back(m->total_sectors());
+  }
+  return sizes;
+}
+}  // namespace
+
+uint64_t ConcatVolume::CapacitySectors(const std::vector<uint64_t>& member_sectors) {
+  uint64_t total = 0;
+  for (uint64_t s : member_sectors) {
+    total += s;
+  }
+  return total;
+}
+
+ConcatVolume::ConcatVolume(Scheduler* sched, std::string name,
+                           std::vector<BlockDevice*> members)
+    : Volume(sched, std::move(name), std::move(members)) {
+  for (const BlockDevice* m : members_) {
+    member_start_.push_back(total_);
+    total_ += m->total_sectors();  // the running sum IS CapacitySectors()
+  }
+}
+
+std::vector<Volume::Fragment> ConcatVolume::Map(uint64_t sector, uint32_t count) const {
+  PFS_CHECK(sector + count <= total_);
+  std::vector<Fragment> fragments;
+  size_t m = 0;
+  while (m + 1 < members_.size() && member_start_[m + 1] <= sector) {
+    ++m;
+  }
+  uint64_t byte_offset = 0;
+  uint32_t remaining = count;
+  while (remaining > 0) {
+    const uint64_t local = sector - member_start_[m];
+    const uint64_t avail = members_[m]->total_sectors() - local;
+    const uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(remaining, avail));
+    fragments.push_back({m, local, n, byte_offset});
+    sector += n;
+    remaining -= n;
+    byte_offset += static_cast<uint64_t>(n) * sector_bytes_;
+    ++m;
+  }
+  return fragments;
+}
+
+Task<Status> ConcatVolume::Read(uint64_t sector, uint32_t count, std::span<std::byte> out) {
+  const std::vector<Fragment> fragments = Map(sector, count);
+  co_return co_await RunFragments(false, out, {}, fragments);
+}
+
+Task<Status> ConcatVolume::Write(uint64_t sector, uint32_t count,
+                                 std::span<const std::byte> in) {
+  const std::vector<Fragment> fragments = Map(sector, count);
+  co_return co_await RunFragments(true, {}, in, fragments);
+}
+
+// -- StripedVolume -----------------------------------------------------------
+
+uint64_t StripedVolume::CapacitySectors(const std::vector<uint64_t>& member_sectors,
+                                        uint32_t stripe_unit_sectors) {
+  uint64_t min_sectors = member_sectors[0];
+  for (uint64_t s : member_sectors) {
+    min_sectors = std::min(min_sectors, s);
+  }
+  const uint64_t units_per_member = min_sectors / stripe_unit_sectors;
+  return units_per_member * member_sectors.size() * stripe_unit_sectors;
+}
+
+StripedVolume::StripedVolume(Scheduler* sched, std::string name,
+                             std::vector<BlockDevice*> members,
+                             uint32_t stripe_unit_sectors)
+    : Volume(sched, std::move(name), std::move(members)), unit_(stripe_unit_sectors) {
+  PFS_CHECK_MSG(unit_ > 0, "stripe unit must be at least one sector");
+  total_ = CapacitySectors(MemberSectors(members_), unit_);
+  PFS_CHECK_MSG(total_ > 0, "stripe unit larger than the smallest member");
+}
+
+std::pair<size_t, uint64_t> StripedVolume::MapSector(uint64_t sector) const {
+  const uint64_t unit = sector / unit_;
+  const size_t member = static_cast<size_t>(unit % members_.size());
+  const uint64_t member_unit = unit / members_.size();
+  return {member, member_unit * unit_ + sector % unit_};
+}
+
+std::vector<Volume::Fragment> StripedVolume::Map(uint64_t sector, uint32_t count) const {
+  PFS_CHECK(sector + count <= total_);
+  std::vector<Fragment> fragments;
+  uint64_t byte_offset = 0;
+  uint32_t remaining = count;
+  while (remaining > 0) {
+    const auto [member, member_sector] = MapSector(sector);
+    const uint32_t in_unit = static_cast<uint32_t>(sector % unit_);
+    const uint32_t n = std::min(remaining, unit_ - in_unit);
+    fragments.push_back({member, member_sector, n, byte_offset});
+    sector += n;
+    remaining -= n;
+    byte_offset += static_cast<uint64_t>(n) * sector_bytes_;
+  }
+  return fragments;
+}
+
+Task<Status> StripedVolume::Read(uint64_t sector, uint32_t count, std::span<std::byte> out) {
+  const std::vector<Fragment> fragments = Map(sector, count);
+  co_return co_await RunFragments(false, out, {}, fragments);
+}
+
+Task<Status> StripedVolume::Write(uint64_t sector, uint32_t count,
+                                  std::span<const std::byte> in) {
+  const std::vector<Fragment> fragments = Map(sector, count);
+  co_return co_await RunFragments(true, {}, in, fragments);
+}
+
+// -- MirrorVolume ------------------------------------------------------------
+
+uint64_t MirrorVolume::CapacitySectors(const std::vector<uint64_t>& member_sectors) {
+  uint64_t min_sectors = member_sectors[0];
+  for (uint64_t s : member_sectors) {
+    min_sectors = std::min(min_sectors, s);
+  }
+  return min_sectors;
+}
+
+MirrorVolume::MirrorVolume(Scheduler* sched, std::string name,
+                           std::vector<BlockDevice*> members)
+    : Volume(sched, std::move(name), std::move(members)), failed_(members_.size(), false) {
+  total_ = CapacitySectors(MemberSectors(members_));
+  member_missed_.resize(members_.size());
+}
+
+Status MirrorVolume::SetMemberFailed(size_t i, bool failed) {
+  PFS_CHECK(i < failed_.size());
+  if (!failed && failed_[i] && member_missed_[i].value() > 0) {
+    return Status(ErrorCode::kUnsupported,
+                  "mirror " + name_ + ": member " + std::to_string(i) + " missed " +
+                      std::to_string(member_missed_[i].value()) +
+                      " write(s); reinstating it without a rebuild would serve stale data");
+  }
+  failed_[i] = failed;
+  return OkStatus();
+}
+
+size_t MirrorVolume::live_member_count() const {
+  size_t live = 0;
+  for (bool f : failed_) {
+    live += f ? 0 : 1;
+  }
+  return live;
+}
+
+std::vector<size_t> MirrorVolume::ReadOrder() {
+  std::vector<size_t> live;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!failed_[i]) {
+      live.push_back(i);
+    }
+  }
+  if (live.size() < 2) {
+    return live;
+  }
+  std::stable_sort(live.begin(), live.end(), [this](size_t a, size_t b) {
+    return members_[a]->QueueDepthHint() < members_[b]->QueueDepthHint();
+  });
+  // Rotate the equal-shortest prefix so members with identical queues share
+  // the read load instead of member 0 taking everything.
+  const size_t d0 = members_[live[0]]->QueueDepthHint();
+  size_t ties = 1;
+  while (ties < live.size() && members_[live[ties]]->QueueDepthHint() == d0) {
+    ++ties;
+  }
+  if (ties > 1) {
+    std::rotate(live.begin(), live.begin() + static_cast<ptrdiff_t>(rr_++ % ties),
+                live.begin() + static_cast<ptrdiff_t>(ties));
+  }
+  return live;
+}
+
+Task<Status> MirrorVolume::Read(uint64_t sector, uint32_t count, std::span<std::byte> out) {
+  PFS_CHECK(sector + count <= total_);
+  requests_.Inc();
+  const std::vector<size_t> order = ReadOrder();
+  if (order.empty()) {
+    fanout_.Record(0);
+    co_return Status(ErrorCode::kIoError, "mirror " + name_ + ": no live members");
+  }
+  if (order.size() < members_.size()) {
+    degraded_reads_.Inc();
+  }
+  Status last = OkStatus();
+  for (size_t i = 0; i < order.size(); ++i) {
+    member_reads_[order[i]].Inc();
+    last = co_await members_[order[i]]->Read(sector, count, out);
+    if (last.ok()) {
+      // Members whose attempts errored are failed out now that a survivor
+      // proved the data is available — otherwise a dead member's empty
+      // queue keeps winning ReadOrder and every read pays a doomed attempt
+      // first, forever. (All-members-erroring is left unmarked: that looks
+      // transient, and failing everyone would brick the volume.)
+      for (size_t j = 0; j < i; ++j) {
+        failed_[order[j]] = true;
+      }
+      fanout_.Record(static_cast<double>(i + 1));  // members actually touched
+      co_return last;
+    }
+  }
+  fanout_.Record(static_cast<double>(order.size()));
+  co_return last;
+}
+
+Task<Status> MirrorVolume::Write(uint64_t sector, uint32_t count,
+                                 std::span<const std::byte> in) {
+  PFS_CHECK(sector + count <= total_);
+  std::vector<Fragment> fragments;
+  for (size_t m = 0; m < members_.size(); ++m) {
+    if (!failed_[m]) {
+      fragments.push_back({m, sector, count, 0});
+    }
+  }
+  if (fragments.empty()) {
+    requests_.Inc();
+    fanout_.Record(0);
+    co_return Status(ErrorCode::kIoError, "mirror " + name_ + ": no live members");
+  }
+  // Per-fragment statuses, not just the first error: a member whose write
+  // fails while a replica succeeds must leave the mirror degraded — treating
+  // it as still live would let later reads return divergent data.
+  std::vector<Status> results;
+  const Status first_error = co_await RunFragments(true, {}, in, fragments, &results);
+  size_t successes = 0;
+  for (const Status& s : results) {
+    successes += s.ok() ? 1 : 0;
+  }
+  if (successes == 0) {
+    // Every replica refused the write: nothing diverged (the caller sees
+    // the error, no member took the data, no debt accrues), and failing
+    // everyone out would brick the volume on a transient glitch — same
+    // policy as Read.
+    co_return first_error;
+  }
+  // A replica persisted it: every member that did not — skipped while
+  // failed out, or errored just now — owes this write as rebuild debt.
+  for (size_t m = 0; m < members_.size(); ++m) {
+    if (failed_[m]) {
+      missed_writes_.Inc();
+      member_missed_[m].Inc();
+    }
+  }
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    if (!results[i].ok()) {
+      failed_[fragments[i].member] = true;
+      missed_writes_.Inc();
+      member_missed_[fragments[i].member].Inc();
+    }
+  }
+  co_return OkStatus();
+}
+
+std::string MirrorVolume::StatReport(bool with_histograms) const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "live=%zu/%zu missed-writes=%llu degraded-reads=%llu\n",
+                live_member_count(), members_.size(),
+                static_cast<unsigned long long>(missed_writes_.value()),
+                static_cast<unsigned long long>(degraded_reads_.value()));
+  return Volume::StatReport(with_histograms) + buf;
+}
+
+std::string MirrorVolume::StatJson() const {
+  std::string out = Volume::StatJson();
+  out.pop_back();  // extend the base object in place
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                ",\"live_members\":%zu,\"missed_writes\":%llu,\"degraded_reads\":%llu}",
+                live_member_count(), static_cast<unsigned long long>(missed_writes_.value()),
+                static_cast<unsigned long long>(degraded_reads_.value()));
+  return out + buf;
+}
+
+}  // namespace pfs

@@ -1,0 +1,202 @@
+// Volumes: BlockDevice compositions between the storage layouts and the
+// disk drivers.
+//
+//   SingleDiskVolume  one partition slice of one device (the seed behavior)
+//   ConcatVolume      member address spaces appended end to end
+//   StripedVolume     RAID-0: fixed stripe units round-robin over members;
+//                     requests are split at unit boundaries and fanned out
+//                     to the members in parallel via the scheduler
+//   MirrorVolume      RAID-1: writes go to every live member in parallel,
+//                     reads pick the live member with the shortest queue and
+//                     fall back to the others when a member is failed
+//
+// Every volume is a StatSource: per-member request counts, fan-out width
+// per request, and (for mirrors) the read balance across members.
+#ifndef PFS_VOLUME_VOLUME_H_
+#define PFS_VOLUME_VOLUME_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+#include "volume/block_device.h"
+
+namespace pfs {
+
+class Volume : public BlockDevice, public StatSource {
+ public:
+  Volume(Scheduler* sched, std::string name, std::vector<BlockDevice*> members);
+
+  virtual const char* kind() const = 0;
+  const std::string& name() const { return name_; }
+  size_t member_count() const { return members_.size(); }
+  BlockDevice* member(size_t i) { return members_[i]; }
+
+  uint32_t sector_bytes() const override { return sector_bytes_; }
+
+  // StatSource
+  std::string stat_name() const override { return "volume." + name_; }
+  std::string StatReport(bool with_histograms) const override;
+  std::string StatJson() const override;
+  void StatResetInterval() override;
+
+  uint64_t requests() const { return requests_.value(); }
+  uint64_t member_reads(size_t i) const { return member_reads_[i].value(); }
+  uint64_t member_writes(size_t i) const { return member_writes_[i].value(); }
+  const Histogram& fanout_width() const { return fanout_; }
+
+ protected:
+  // One member-local piece of a logical request. `byte_offset` locates the
+  // piece in the request's (possibly empty) data span.
+  struct Fragment {
+    size_t member;
+    uint64_t sector;  // member-local address
+    uint32_t count;
+    uint64_t byte_offset;
+  };
+
+  // Performs the fragments and joins: a lone fragment runs inline on the
+  // calling thread; several are spawned as transient scheduler threads so
+  // members work in parallel. Returns the first non-ok member status;
+  // `per_fragment` (optional) receives every fragment's own status, for
+  // callers whose policy is not first-error (the mirror fails members out
+  // individually). `fragments` must outlive the co_await (a caller local).
+  Task<Status> RunFragments(bool is_write, std::span<std::byte> out,
+                            std::span<const std::byte> in,
+                            const std::vector<Fragment>& fragments,
+                            std::vector<Status>* per_fragment = nullptr);
+
+  Scheduler* sched_;
+  std::string name_;
+  std::vector<BlockDevice*> members_;
+  uint32_t sector_bytes_;
+
+  Counter requests_;
+  Counter split_requests_;  // requests split across distinct address ranges
+  std::vector<Counter> member_reads_;
+  std::vector<Counter> member_writes_;
+  Histogram fanout_{0, 16, 16};  // distinct members touched per request
+};
+
+// Adapter over a partition slice [start_sector, start_sector + nsectors) of
+// one backing device — how today's per-disk partitions enter the volume
+// layer. A disk driver is itself a BlockDevice, so the backing may be a
+// whole disk or any other volume.
+class SingleDiskVolume final : public Volume {
+ public:
+  SingleDiskVolume(Scheduler* sched, std::string name, BlockDevice* backing,
+                   uint64_t start_sector, uint64_t nsectors);
+  // The whole backing device.
+  SingleDiskVolume(Scheduler* sched, std::string name, BlockDevice* backing);
+
+  const char* kind() const override { return "single"; }
+  Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) override;
+  Task<Status> Write(uint64_t sector, uint32_t count, std::span<const std::byte> in) override;
+  uint64_t total_sectors() const override { return nsectors_; }
+  size_t QueueDepthHint() const override { return members_[0]->QueueDepthHint(); }
+
+ private:
+  uint64_t start_;
+  uint64_t nsectors_;
+};
+
+// Members appended end to end; requests crossing a member boundary are split.
+class ConcatVolume final : public Volume {
+ public:
+  ConcatVolume(Scheduler* sched, std::string name, std::vector<BlockDevice*> members);
+
+  // Capacity of a concat over members of these sizes — the constructor and
+  // SystemBuilder's volume planner share this one formula.
+  static uint64_t CapacitySectors(const std::vector<uint64_t>& member_sectors);
+
+  const char* kind() const override { return "concat"; }
+  Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) override;
+  Task<Status> Write(uint64_t sector, uint32_t count, std::span<const std::byte> in) override;
+  uint64_t total_sectors() const override { return total_; }
+
+ private:
+  std::vector<Fragment> Map(uint64_t sector, uint32_t count) const;
+
+  std::vector<uint64_t> member_start_;  // logical sector where member i begins
+  uint64_t total_ = 0;
+};
+
+// RAID-0. Logical stripe unit u lives on member u % n at member-local unit
+// u / n; capacity is bounded by the smallest member (whole units only).
+class StripedVolume final : public Volume {
+ public:
+  StripedVolume(Scheduler* sched, std::string name, std::vector<BlockDevice*> members,
+                uint32_t stripe_unit_sectors);
+
+  // Whole stripes only, bounded by the smallest member; 0 when one stripe
+  // unit exceeds the smallest member (the planner rejects, the constructor
+  // CHECKs). Shared with SystemBuilder's volume planner.
+  static uint64_t CapacitySectors(const std::vector<uint64_t>& member_sectors,
+                                  uint32_t stripe_unit_sectors);
+
+  const char* kind() const override { return "striped"; }
+  Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) override;
+  Task<Status> Write(uint64_t sector, uint32_t count, std::span<const std::byte> in) override;
+  uint64_t total_sectors() const override { return total_; }
+
+  uint32_t stripe_unit_sectors() const { return unit_; }
+
+  // Member-local address of a logical sector (exposed for address-mapping
+  // tests; Read/Write use the same arithmetic).
+  std::pair<size_t, uint64_t> MapSector(uint64_t sector) const;
+
+ private:
+  std::vector<Fragment> Map(uint64_t sector, uint32_t count) const;
+
+  uint32_t unit_;
+  uint64_t total_ = 0;
+};
+
+// RAID-1. Writes fan out to every live member; reads pick the live member
+// with the shortest queue (rotating on ties, so equal members share load).
+// A member marked failed is skipped: degraded reads are served by the
+// survivors, and writes it misses are counted as rebuild debt. A live
+// member whose write errors is failed out on the spot (a write succeeds if
+// any replica persisted) — replicas never diverge silently.
+class MirrorVolume final : public Volume {
+ public:
+  MirrorVolume(Scheduler* sched, std::string name, std::vector<BlockDevice*> members);
+
+  static uint64_t CapacitySectors(const std::vector<uint64_t>& member_sectors);
+
+  const char* kind() const override { return "mirror"; }
+  Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) override;
+  Task<Status> Write(uint64_t sector, uint32_t count, std::span<const std::byte> in) override;
+  uint64_t total_sectors() const override { return total_; }
+
+  // Failing a member out always succeeds. Reinstating one refuses
+  // (kUnsupported) while the member carries rebuild debt — without a
+  // rebuild (a ROADMAP item) its stale blocks would rotate into reads.
+  Status SetMemberFailed(size_t i, bool failed);
+  bool member_failed(size_t i) const { return failed_[i]; }
+  // Writes member i missed while failed out: its rebuild debt.
+  uint64_t member_missed_writes(size_t i) const { return member_missed_[i].value(); }
+  size_t live_member_count() const;
+  uint64_t missed_writes() const { return missed_writes_.value(); }
+  uint64_t degraded_reads() const { return degraded_reads_.value(); }
+
+  std::string StatReport(bool with_histograms) const override;
+  std::string StatJson() const override;
+
+ private:
+  // Live members, shortest queue first; `rr_` rotates equal-depth choices.
+  std::vector<size_t> ReadOrder();
+
+  std::vector<bool> failed_;
+  uint64_t total_ = 0;
+  size_t rr_ = 0;
+  Counter missed_writes_;  // writes a failed member did not see (rebuild debt)
+  std::vector<Counter> member_missed_;  // the same debt, per member
+  Counter degraded_reads_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_VOLUME_VOLUME_H_

@@ -189,6 +189,19 @@ TEST(QueuePolicyNamesTest, AllNamed) {
   EXPECT_STREQ(QueueSchedPolicyName(QueueSchedPolicy::kClook), "C-LOOK");
 }
 
+TEST(QueuePolicyNamesTest, NamesRoundTripThroughParse) {
+  for (QueueSchedPolicy p :
+       {QueueSchedPolicy::kFcfs, QueueSchedPolicy::kSstf, QueueSchedPolicy::kScan,
+        QueueSchedPolicy::kCscan, QueueSchedPolicy::kLook, QueueSchedPolicy::kClook}) {
+    const auto parsed = QueueSchedPolicyFromName(QueueSchedPolicyName(p));
+    ASSERT_TRUE(parsed.has_value()) << QueueSchedPolicyName(p);
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(QueueSchedPolicyFromName("clook").has_value());  // case-sensitive
+  EXPECT_FALSE(QueueSchedPolicyFromName("").has_value());
+  EXPECT_NE(QueueSchedPolicyNames().find("C-SCAN"), std::string::npos);
+}
+
 class FileDriverTest : public ::testing::Test {
  protected:
   void SetUp() override {

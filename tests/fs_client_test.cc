@@ -13,6 +13,7 @@
 #include "fs/multimedia_file.h"
 #include "layout/lfs_layout.h"
 #include "sched/scheduler.h"
+#include "volume/volume.h"
 
 namespace pfs {
 namespace {
@@ -36,7 +37,9 @@ struct ServerFixture {
     lfs_config.segment_blocks = 16;
     lfs_config.max_inodes = 256;
     lfs_config.enable_cleaner = true;
-    layout = std::make_unique<LfsLayout>(sched.get(), BlockDev(driver.get(), 4096, 0, 512),
+    volume = std::make_unique<SingleDiskVolume>(sched.get(), "v0", driver.get(), 0,
+                                                512 * (4096 / driver->sector_bytes()));
+    layout = std::make_unique<LfsLayout>(sched.get(), BlockDev(volume.get(), 4096),
                                          lfs_config, MakeCleanerPolicy("greedy"));
 
     BufferCache::Config cache_config;
@@ -72,6 +75,7 @@ struct ServerFixture {
   std::unique_ptr<ScsiBus> bus;
   std::unique_ptr<DiskModel> disk;
   std::unique_ptr<SimDiskDriver> driver;
+  std::unique_ptr<SingleDiskVolume> volume;
   std::unique_ptr<LfsLayout> layout;
   std::unique_ptr<BufferCache> cache;
   std::unique_ptr<SimDataMover> mover;

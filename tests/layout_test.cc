@@ -16,6 +16,7 @@
 #include "layout/guessing_layout.h"
 #include "layout/lfs_layout.h"
 #include "sched/scheduler.h"
+#include "volume/volume.h"
 
 namespace pfs {
 namespace {
@@ -134,9 +135,9 @@ struct LfsSimFixture {
     disk->Start();
     driver = std::make_unique<SimDiskDriver>(sched.get(), "d0", disk.get(), bus.get());
     driver->Start();
-    layout = std::make_unique<LfsLayout>(
-        sched.get(), BlockDev(driver.get(), 4096, 0, driver->total_sectors() / 8), config,
-        MakeCleanerPolicy("greedy"));
+    volume = std::make_unique<SingleDiskVolume>(sched.get(), "v0", driver.get());
+    layout = std::make_unique<LfsLayout>(sched.get(), BlockDev(volume.get(), 4096), config,
+                                         MakeCleanerPolicy("greedy"));
   }
 
   static LfsConfig DefaultConfig() {
@@ -182,6 +183,7 @@ struct LfsSimFixture {
   std::unique_ptr<ScsiBus> bus;
   std::unique_ptr<DiskModel> disk;
   std::unique_ptr<SimDiskDriver> driver;
+  std::unique_ptr<SingleDiskVolume> volume;
   std::unique_ptr<LfsLayout> layout;
 };
 
@@ -397,7 +399,8 @@ TEST_F(LfsRealTest, PersistsAcrossRemount) {
         std::move(FileBackedDriver::Create(sched.get(), "d0", path_, 4 * kMiB, &executor))
             .value();
     driver->Start();
-    LfsLayout layout(sched.get(), BlockDev(driver.get(), 4096, 0, 1024), RealConfig(),
+    SingleDiskVolume volume(sched.get(), "v0", driver.get());
+    LfsLayout layout(sched.get(), BlockDev(&volume, 4096), RealConfig(),
                      MakeCleanerPolicy("greedy"));
     Status status(ErrorCode::kAborted);
     sched->Spawn("run", [](LfsLayout* l, uint64_t* out_ino, Status* out) -> Task<> {
@@ -442,7 +445,8 @@ TEST_F(LfsRealTest, PersistsAcrossRemount) {
         std::move(FileBackedDriver::Create(sched.get(), "d0", path_, 4 * kMiB, &executor))
             .value();
     driver->Start();
-    LfsLayout layout(sched.get(), BlockDev(driver.get(), 4096, 0, 1024), RealConfig(),
+    SingleDiskVolume volume(sched.get(), "v0", driver.get());
+    LfsLayout layout(sched.get(), BlockDev(&volume, 4096), RealConfig(),
                      MakeCleanerPolicy("greedy"));
     Status status(ErrorCode::kAborted);
     std::vector<std::byte> read_back(4096);
@@ -486,14 +490,17 @@ struct FfsSimFixture {
     config.fs_id = 2;
     config.blocks_per_group = 128;
     config.inodes_per_group = 32;
-    layout = std::make_unique<FfsLayout>(sched.get(),
-                                         BlockDev(driver.get(), 4096, 0, 512), config);
+    // A 512-block slice of the disk, entering through the volume layer.
+    volume = std::make_unique<SingleDiskVolume>(sched.get(), "v0", driver.get(), 0,
+                                                512 * (4096 / driver->sector_bytes()));
+    layout = std::make_unique<FfsLayout>(sched.get(), BlockDev(volume.get(), 4096), config);
   }
 
   std::unique_ptr<Scheduler> sched;
   std::unique_ptr<ScsiBus> bus;
   std::unique_ptr<DiskModel> disk;
   std::unique_ptr<SimDiskDriver> driver;
+  std::unique_ptr<SingleDiskVolume> volume;
   std::unique_ptr<FfsLayout> layout;
 };
 
@@ -587,14 +594,17 @@ struct GuessFixture {
     GuessingConfig config;
     config.fs_id = 3;
     config.seed = 5;
-    layout = std::make_unique<GuessingLayout>(sched.get(),
-                                              BlockDev(driver.get(), 4096, 0, 512), config);
+    volume = std::make_unique<SingleDiskVolume>(sched.get(), "v0", driver.get(), 0,
+                                                512 * (4096 / driver->sector_bytes()));
+    layout = std::make_unique<GuessingLayout>(sched.get(), BlockDev(volume.get(), 4096),
+                                              config);
   }
 
   std::unique_ptr<Scheduler> sched;
   std::unique_ptr<ScsiBus> bus;
   std::unique_ptr<DiskModel> disk;
   std::unique_ptr<SimDiskDriver> driver;
+  std::unique_ptr<SingleDiskVolume> volume;
   std::unique_ptr<GuessingLayout> layout;
 };
 

@@ -140,6 +140,83 @@ TEST_F(SystemTest, SameConfigSameResultsOnBothBackends) {
             (std::vector<std::string>{"f2", "f3", "f4", "f5", "g1"}));
 }
 
+TEST_F(SystemTest, StripedAndMirroredVolumesSameResultsOnBothBackends) {
+  // fs0 striped over both disks, fs1 mirrored over both: the workload's
+  // logical results must not depend on the backend — the volume layer is
+  // below the cache, so the same splitting code runs in both stacks.
+  SystemConfig config = SmallConfig();
+  config.image_path = image_;
+  config.image_bytes = 16 * kMiB;
+  VolumeSpec striped;
+  striped.kind = "striped";
+  striped.members = {0, 1};
+  striped.stripe_unit_kb = 16;
+  VolumeSpec mirror;
+  mirror.kind = "mirror";
+  mirror.members = {0, 1};
+  config.volumes = {striped, mirror};
+
+  config.backend = BackendKind::kSimulated;
+  auto sim = RunOn(config);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+
+  config.backend = BackendKind::kFileBacked;
+  auto real = RunOn(config);
+  ASSERT_TRUE(real.ok()) << real.status().ToString();
+
+  EXPECT_EQ(sim->entries, real->entries);
+  EXPECT_EQ(sim->sizes, real->sizes);
+  EXPECT_EQ(sim->ops_ok, real->ops_ok);
+  EXPECT_EQ(sim->entries, (std::vector<std::string>{"f2", "f3", "f4", "f5", "g1"}));
+}
+
+TEST_F(SystemTest, StripedVolumeFansOutOverTheMembers) {
+  SystemConfig config = SmallConfig();
+  config.backend = BackendKind::kSimulated;
+  config.num_filesystems = 1;
+  VolumeSpec striped;
+  striped.kind = "striped";
+  striped.members = {0, 1};
+  striped.stripe_unit_kb = 16;
+  config.volumes = {striped};
+
+  auto system_or = SystemBuilder::Build(config);
+  ASSERT_TRUE(system_or.ok()) << system_or.status().ToString();
+  std::unique_ptr<System> system = std::move(system_or).value();
+  ASSERT_TRUE(system->Setup().ok());
+  Status status(ErrorCode::kAborted);
+  system->scheduler()->Spawn("wl", [](System* sys, Status* st) -> Task<> {
+    OpenOptions create;
+    create.create = true;
+    auto fd = co_await sys->client()->Open("/fs0/big", create);
+    if (!fd.ok()) {
+      *st = fd.status();
+      co_return;
+    }
+    auto wrote = co_await sys->client()->Write(*fd, 0, 2 * kMiB, {});
+    if (!wrote.ok()) {
+      *st = wrote.status();
+      co_return;
+    }
+    *st = co_await sys->client()->Close(*fd);
+    if (st->ok()) {
+      *st = co_await sys->client()->SyncAll();
+    }
+  }(system.get(), &status));
+  system->scheduler()->Run();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // The LFS segment writes were split across both member disks.
+  Volume* volume = system->volume(0);
+  EXPECT_STREQ(volume->kind(), "striped");
+  EXPECT_GT(volume->member_writes(0), 0u);
+  EXPECT_GT(volume->member_writes(1), 0u);
+  EXPECT_GT(system->drivers()[0]->ops_completed(), 0u);
+  EXPECT_GT(system->drivers()[1]->ops_completed(), 0u);
+  // And the volume reports as a stat source in the registry.
+  EXPECT_NE(system->StatReport(false).find("volume.fs0"), std::string::npos);
+}
+
 TEST_F(SystemTest, FileBackedStacksAllThreeLayouts) {
   for (const char* layout : {"lfs", "ffs", "guessing"}) {
     SystemConfig config = SmallConfig();
@@ -219,6 +296,103 @@ TEST(SystemValidateTest, RejectsUnknownNames) {
   config = SystemConfig{};
   config.cleaner = "lazy";
   EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+
+  config = SystemConfig{};
+  config.queue_policy = "ELEVATOR";
+  const Status queue_status = SystemBuilder::Validate(config);
+  EXPECT_EQ(queue_status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(queue_status.ToString().find("queue_policy"), std::string::npos);
+  EXPECT_NE(queue_status.ToString().find("C-LOOK"), std::string::npos);
+}
+
+TEST(SystemValidateTest, AcceptsEveryQueuePolicyName) {
+  for (const char* name : {"FCFS", "SSTF", "SCAN", "C-SCAN", "LOOK", "C-LOOK"}) {
+    SystemConfig config;
+    config.queue_policy = name;
+    EXPECT_TRUE(SystemBuilder::Validate(config).ok()) << name;
+  }
+}
+
+TEST(SystemValidateTest, RejectsBadVolumeSpecs) {
+  SystemConfig base;
+  base.disks_per_bus = {2};
+  base.num_filesystems = 2;
+
+  SystemConfig config = base;
+  VolumeSpec spec;
+  spec.members = {0};
+  config.volumes = {spec};  // 1 spec for 2 file systems
+  Status status = SystemBuilder::Validate(config);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("volumes"), std::string::npos);
+
+  config = base;
+  spec = VolumeSpec{};
+  spec.kind = "raid6";
+  spec.members = {0};
+  config.volumes = {spec, spec};
+  status = SystemBuilder::Validate(config);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("kind"), std::string::npos);
+
+  config = base;
+  spec = VolumeSpec{};
+  spec.members = {0, 7};  // disk 7 does not exist
+  spec.kind = "mirror";
+  config.volumes = {spec, spec};
+  status = SystemBuilder::Validate(config);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("members"), std::string::npos);
+
+  config = base;
+  spec = VolumeSpec{};
+  spec.kind = "single";
+  spec.members = {0, 1};  // single takes exactly one
+  config.volumes = {spec, spec};
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+
+  config = base;
+  spec = VolumeSpec{};
+  spec.kind = "striped";
+  spec.members = {0, 1};
+  spec.stripe_unit_kb = 0;
+  config.volumes = {spec, spec};
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+
+  // A stripe unit smaller than (or not a multiple of) the sector must be a
+  // Status error, not a divide-by-zero.
+  config = base;
+  config.disk_params.geometry.sector_bytes = 4096;
+  spec.stripe_unit_kb = 1;
+  config.volumes = {spec, spec};
+  status = SystemBuilder::Validate(config);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("stripe_unit_kb"), std::string::npos);
+
+  // The same disk twice in one volume: a mirror with zero redundancy.
+  config = base;
+  spec = VolumeSpec{};
+  spec.kind = "mirror";
+  spec.members = {0, 0};
+  config.volumes = {spec, spec};
+  status = SystemBuilder::Validate(config);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("twice"), std::string::npos);
+}
+
+TEST(SystemValidateTest, AcceptsVolumeSpecsThatFit) {
+  SystemConfig config;
+  config.disks_per_bus = {3};
+  config.num_filesystems = 2;
+  VolumeSpec striped;
+  striped.kind = "striped";
+  striped.members = {0, 1, 2};
+  VolumeSpec concat;
+  concat.kind = "concat";
+  concat.members = {0, 2};
+  config.volumes = {striped, concat};
+  EXPECT_TRUE(SystemBuilder::Validate(config).ok())
+      << SystemBuilder::Validate(config).ToString();
 }
 
 TEST(SystemValidateTest, RejectsMoreFilesystemsThanDisksCanHold) {

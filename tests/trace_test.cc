@@ -1,7 +1,9 @@
 // Unit tests for src/trace and src/workload: formats, synthesis rule,
-// generator distributional properties.
+// generator distributional properties, and the replayer's stress mode.
 #include <gtest/gtest.h>
 
+#include "system/system_builder.h"
+#include "trace/replayer.h"
 #include "trace/trace.h"
 #include "workload/generator.h"
 
@@ -243,6 +245,106 @@ TEST(GeneratorTest, BurstWorkloadShape) {
   }
   EXPECT_GE(bursts, 5);  // one burst per 10 s over 60 s
   EXPECT_EQ(burst_bytes, static_cast<uint64_t>(bursts) * params.burst_bytes);
+}
+
+// -- replayer stress mode (respect_timing = false) ---------------------------
+
+struct ReplayOutcome {
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  uint64_t read_samples = 0;
+  uint64_t write_samples = 0;
+  uint64_t meta_samples = 0;
+  Duration simulated_time;
+};
+
+ReplayOutcome Replay(std::vector<TraceRecord> records, bool respect_timing) {
+  SystemConfig config;
+  config.disks_per_bus = {1};
+  config.num_filesystems = 1;
+  config.cache_bytes = 2 * kMiB;
+  config.lfs_segment_blocks = 64;
+  config.max_inodes = 1024;
+  auto system_or = SystemBuilder::Build(config);
+  PFS_CHECK(system_or.ok());
+  std::unique_ptr<System> system = std::move(system_or).value();
+  PFS_CHECK(system->Setup().ok());
+
+  TraceReplayer::Options options;
+  options.respect_timing = respect_timing;
+  TraceReplayer replayer(system->scheduler(), system->client(), options);
+  replayer.AddRecords(std::move(records));
+  replayer.Start();
+  system->scheduler()->Run();
+
+  ReplayOutcome out;
+  out.ops = replayer.ops_completed();
+  out.errors = replayer.errors();
+  out.read_samples = replayer.reads().count();
+  out.write_samples = replayer.writes().count();
+  out.meta_samples = replayer.metadata().count();
+  out.simulated_time = system->scheduler()->Now() - TimePoint();
+  return out;
+}
+
+TEST(ReplayerStressTest, StressReplayCompletesAndRecordsPerClassLatencies) {
+  WorkloadParams params = WorkloadParams::SpriteLike("1a", 0.02);
+  params.clients = 4;
+  params.num_filesystems = 1;
+  const auto records = GenerateWorkload(params);
+  ASSERT_FALSE(records.empty());
+
+  const ReplayOutcome stress = Replay(records, /*respect_timing=*/false);
+  EXPECT_GT(stress.ops, 0u);
+  EXPECT_GT(stress.read_samples, 0u);
+  EXPECT_GT(stress.write_samples, 0u);
+  EXPECT_GT(stress.meta_samples, 0u);
+  EXPECT_EQ(stress.ops, stress.read_samples + stress.write_samples + stress.meta_samples);
+}
+
+TEST(ReplayerStressTest, StressMatchesTimedReplayLogically) {
+  WorkloadParams params = WorkloadParams::SpriteLike("1a", 0.02);
+  params.clients = 4;
+  params.num_filesystems = 1;
+  const auto records = GenerateWorkload(params);
+
+  const ReplayOutcome stress = Replay(records, /*respect_timing=*/false);
+  const ReplayOutcome timed = Replay(records, /*respect_timing=*/true);
+
+  // The same operations succeed and fail either way; only the pacing (and
+  // thus the simulated wall time) differs.
+  EXPECT_EQ(stress.ops, timed.ops);
+  EXPECT_EQ(stress.errors, timed.errors);
+  EXPECT_EQ(stress.read_samples, timed.read_samples);
+  EXPECT_EQ(stress.write_samples, timed.write_samples);
+  EXPECT_EQ(stress.meta_samples, timed.meta_samples);
+  EXPECT_LT(stress.simulated_time.nanos(), timed.simulated_time.nanos());
+}
+
+TEST(ReplayerStressTest, StatJsonCarriesTheCounters) {
+  WorkloadParams params = WorkloadParams::SpriteLike("1a", 0.01);
+  params.clients = 2;
+  params.num_filesystems = 1;
+
+  SystemConfig config;
+  config.disks_per_bus = {1};
+  config.num_filesystems = 1;
+  config.cache_bytes = 2 * kMiB;
+  config.lfs_segment_blocks = 64;
+  config.max_inodes = 1024;
+  auto system = std::move(SystemBuilder::Build(config)).value();
+  ASSERT_TRUE(system->Setup().ok());
+  TraceReplayer::Options options;
+  options.respect_timing = false;
+  TraceReplayer replayer(system->scheduler(), system->client(), options);
+  replayer.AddRecords(GenerateWorkload(params));
+  replayer.Start();
+  system->scheduler()->Run();
+
+  const std::string json = replayer.StatJson();
+  EXPECT_EQ(json.find("{\"ops\":"), 0u);
+  EXPECT_NE(json.find("\"overall_ms\""), std::string::npos);
+  EXPECT_NE(json.find(std::to_string(replayer.ops_completed())), std::string::npos);
 }
 
 }  // namespace

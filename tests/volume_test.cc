@@ -1,0 +1,379 @@
+// Unit tests for src/volume: address-mapping round-trips for striped,
+// concatenated, and mirrored volumes over an in-memory fake device, mirror
+// degraded-mode behavior, and the volumes' statistics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "volume/volume.h"
+
+namespace pfs {
+namespace {
+
+constexpr uint32_t kSector = 512;
+
+// Byte-holding BlockDevice that completes inline: pure address-mapping
+// checks, no disk model underneath.
+class MemDevice final : public BlockDevice {
+ public:
+  explicit MemDevice(uint64_t nsectors) : data_(nsectors * kSector, std::byte{0}) {}
+
+  Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) override {
+    ++reads;
+    if (fail) {
+      co_return Status(ErrorCode::kIoError, "injected member failure");
+    }
+    PFS_CHECK((sector + count) * kSector <= data_.size());
+    if (!out.empty()) {
+      std::memcpy(out.data(), data_.data() + sector * kSector, count * kSector);
+    }
+    co_return OkStatus();
+  }
+
+  Task<Status> Write(uint64_t sector, uint32_t count,
+                     std::span<const std::byte> in) override {
+    ++writes;
+    if (fail) {
+      co_return Status(ErrorCode::kIoError, "injected member failure");
+    }
+    PFS_CHECK((sector + count) * kSector <= data_.size());
+    if (!in.empty()) {
+      std::memcpy(data_.data() + sector * kSector, in.data(), count * kSector);
+    }
+    co_return OkStatus();
+  }
+
+  uint64_t total_sectors() const override { return data_.size() / kSector; }
+  uint32_t sector_bytes() const override { return kSector; }
+  size_t QueueDepthHint() const override { return hint; }
+
+  std::byte at(uint64_t sector, uint64_t byte) const { return data_[sector * kSector + byte]; }
+
+  size_t hint = 0;
+  bool fail = false;
+  int reads = 0;
+  int writes = 0;
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+// Runs one volume operation to completion on a virtual-clock scheduler.
+Status RunIo(Scheduler* sched, Task<Status> op) {
+  Status result(ErrorCode::kAborted);
+  sched->Spawn("io", [](Task<Status> t, Status* out) -> Task<> {
+    *out = co_await std::move(t);
+  }(std::move(op), &result));
+  sched->Run();
+  return result;
+}
+
+std::vector<std::byte> Pattern(uint32_t sectors, uint8_t salt = 0) {
+  std::vector<std::byte> buf(sectors * kSector);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>((i / kSector + salt) & 0xff);
+  }
+  return buf;
+}
+
+TEST(SingleDiskVolumeTest, SliceOffsetsIntoBacking) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice disk(64);
+  SingleDiskVolume vol(sched.get(), "v", &disk, /*start_sector=*/16, /*nsectors=*/32);
+  EXPECT_EQ(vol.total_sectors(), 32u);
+
+  auto data = Pattern(4);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 4, data)).ok());
+  EXPECT_EQ(disk.at(16, 0), data[0]);  // volume sector 0 = backing sector 16
+
+  std::vector<std::byte> back(4 * kSector);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 4, back)).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(vol.member_reads(0), 1u);
+  EXPECT_EQ(vol.member_writes(0), 1u);
+}
+
+TEST(ConcatVolumeTest, SplitsAcrossTheMemberBoundary) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(8);
+  MemDevice b(8);
+  ConcatVolume vol(sched.get(), "v", {&a, &b});
+  ASSERT_EQ(vol.total_sectors(), 16u);
+
+  // Sectors 6..10 straddle the boundary: 2 on `a`, 2 on `b`.
+  auto data = Pattern(4, 7);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(6, 4, data)).ok());
+  EXPECT_EQ(a.at(6, 0), data[0]);
+  EXPECT_EQ(a.at(7, 0), data[kSector]);
+  EXPECT_EQ(b.at(0, 0), data[2 * kSector]);
+  EXPECT_EQ(b.at(1, 0), data[3 * kSector]);
+
+  std::vector<std::byte> back(4 * kSector);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(6, 4, back)).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(vol.member_reads(0), 1u);
+  EXPECT_EQ(vol.member_reads(1), 1u);
+  EXPECT_GT(vol.fanout_width().max(), 1.0);
+}
+
+TEST(StripedVolumeTest, MapSectorRoundRobinsUnits) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  MemDevice c(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b, &c}, /*stripe_unit_sectors=*/4);
+  EXPECT_EQ(vol.total_sectors(), 48u);
+  EXPECT_EQ(vol.MapSector(0), (std::pair<size_t, uint64_t>{0, 0}));
+  EXPECT_EQ(vol.MapSector(3), (std::pair<size_t, uint64_t>{0, 3}));
+  EXPECT_EQ(vol.MapSector(4), (std::pair<size_t, uint64_t>{1, 0}));
+  EXPECT_EQ(vol.MapSector(8), (std::pair<size_t, uint64_t>{2, 0}));
+  EXPECT_EQ(vol.MapSector(12), (std::pair<size_t, uint64_t>{0, 4}));  // second stripe
+  EXPECT_EQ(vol.MapSector(47), (std::pair<size_t, uint64_t>{2, 15}));
+}
+
+TEST(StripedVolumeTest, WriteReadRoundTripAndPlacement) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b}, 4);
+
+  // One request covering the whole volume: every sector lands where
+  // MapSector says, and reading it back restores the pattern.
+  auto data = Pattern(32, 3);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 32, data)).ok());
+  for (uint64_t s = 0; s < 32; ++s) {
+    const auto [member, member_sector] = vol.MapSector(s);
+    const MemDevice& dev = member == 0 ? a : b;
+    EXPECT_EQ(dev.at(member_sector, 0), data[s * kSector]) << "sector " << s;
+  }
+  std::vector<std::byte> back(32 * kSector);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 32, back)).ok());
+  EXPECT_EQ(back, data);
+
+  // The large request split and touched both members.
+  EXPECT_EQ(vol.requests(), 2u);
+  EXPECT_GT(vol.member_reads(0), 0u);
+  EXPECT_GT(vol.member_reads(1), 0u);
+  EXPECT_EQ(vol.fanout_width().max(), 2.0);
+}
+
+TEST(StripedVolumeTest, EmptySpansSimulatedMode) {
+  // The simulated backend passes empty spans; splitting must not touch them.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b}, 4);
+  EXPECT_TRUE(RunIo(sched.get(), vol.Write(0, 24, {})).ok());
+  EXPECT_TRUE(RunIo(sched.get(), vol.Read(2, 9, {})).ok());
+}
+
+TEST(MirrorVolumeTest, WritesAllMembersReadsBalance) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  MirrorVolume vol(sched.get(), "v", {&a, &b});
+  EXPECT_EQ(vol.total_sectors(), 16u);
+
+  auto data = Pattern(4, 9);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(2, 4, data)).ok());
+  for (uint64_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(a.at(2 + s, 0), data[s * kSector]);
+    EXPECT_EQ(b.at(2 + s, 0), data[s * kSector]);
+  }
+
+  // Equal queue depths: reads rotate over the members instead of pinning
+  // member 0 (the mirror read balance the stats report).
+  std::vector<std::byte> back(4 * kSector);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(RunIo(sched.get(), vol.Read(2, 4, back)).ok());
+    EXPECT_EQ(back, data);
+  }
+  EXPECT_EQ(vol.member_reads(0), 3u);
+  EXPECT_EQ(vol.member_reads(1), 3u);
+}
+
+TEST(MirrorVolumeTest, ReadsPreferTheShortestQueue) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  MirrorVolume vol(sched.get(), "v", {&a, &b});
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 2, Pattern(2))).ok());
+
+  a.hint = 5;  // member 0 busy
+  std::vector<std::byte> back(2 * kSector);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 2, back)).ok());
+  }
+  EXPECT_EQ(vol.member_reads(0), 0u);
+  EXPECT_EQ(vol.member_reads(1), 4u);
+}
+
+TEST(MirrorVolumeTest, DegradedReadsAndRebuildDebt) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  MirrorVolume vol(sched.get(), "v", {&a, &b});
+  auto data = Pattern(4, 5);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 4, data)).ok());
+
+  // Member 0 fails: reads keep working from member 1, and writes it misses
+  // are counted as rebuild debt.
+  ASSERT_TRUE(vol.SetMemberFailed(0, true).ok());
+  EXPECT_EQ(vol.live_member_count(), 1u);
+  std::vector<std::byte> back(4 * kSector);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 4, back)).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(a.reads, 0);
+
+  auto fresh = Pattern(4, 6);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 4, fresh)).ok());
+  EXPECT_EQ(vol.missed_writes(), 1u);
+  EXPECT_EQ(vol.member_missed_writes(0), 1u);
+  EXPECT_EQ(b.at(0, 0), fresh[0]);
+  EXPECT_NE(a.at(0, 0), fresh[0]);  // stale: member 0 missed the write
+
+  // The degraded-mode counters reach the machine-readable stats too.
+  const std::string json = vol.StatJson();
+  EXPECT_NE(json.find("\"live_members\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"missed_writes\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_reads\":1"), std::string::npos);
+
+  // Both members failed: reads and writes surface an I/O error.
+  ASSERT_TRUE(vol.SetMemberFailed(1, true).ok());
+  EXPECT_EQ(RunIo(sched.get(), vol.Read(0, 4, back)).code(), ErrorCode::kIoError);
+  EXPECT_EQ(RunIo(sched.get(), vol.Write(0, 4, fresh)).code(), ErrorCode::kIoError);
+
+  // Member 1 carries no rebuild debt and comes back; member 0 missed a
+  // write, so reinstating it (no rebuild exists yet) is refused — its stale
+  // blocks must not rotate into reads.
+  ASSERT_TRUE(vol.SetMemberFailed(1, false).ok());
+  EXPECT_EQ(vol.SetMemberFailed(0, false).code(), ErrorCode::kUnsupported);
+  EXPECT_TRUE(vol.member_failed(0));
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 4, back)).ok());
+  EXPECT_EQ(back, fresh);
+}
+
+TEST(MirrorVolumeTest, FallsBackWhenAMemberErrorsUnmarked) {
+  // A member that fails without being marked (returns kIoError) is retried
+  // on the survivors.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  MirrorVolume vol(sched.get(), "v", {&a, &b});
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 2, Pattern(2, 4))).ok());
+
+  a.fail = true;
+  b.hint = 1;  // steer the first attempt at the broken member 0
+  std::vector<std::byte> back(2 * kSector);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 2, back)).ok());
+  EXPECT_EQ(back, Pattern(2, 4));
+  EXPECT_GT(a.reads, 0);  // attempted, failed over
+
+  // The erroring member is failed out (a survivor has the data), so later
+  // reads stop paying a doomed attempt on it — and the fallback read shows
+  // up in the fan-out histogram as having touched both members.
+  EXPECT_TRUE(vol.member_failed(0));
+  EXPECT_EQ(vol.fanout_width().max(), 2.0);
+  const int attempts_before = a.reads;
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 2, back)).ok());
+  EXPECT_EQ(a.reads, attempts_before);
+}
+
+TEST(MirrorVolumeTest, AllMembersErroringDoesNotBrickTheVolume) {
+  // One transient glitch hitting every replica at once must not mark the
+  // whole mirror failed: nothing diverged (no member took the write), so
+  // the volume recovers as soon as the members do.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  MirrorVolume vol(sched.get(), "v", {&a, &b});
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 2, Pattern(2, 1))).ok());
+
+  a.fail = true;
+  b.fail = true;
+  EXPECT_EQ(RunIo(sched.get(), vol.Write(0, 2, Pattern(2, 2))).code(),
+            ErrorCode::kIoError);
+  EXPECT_EQ(RunIo(sched.get(), vol.Read(0, 2, {})).code(), ErrorCode::kIoError);
+  EXPECT_EQ(vol.live_member_count(), 2u);  // still live: transient, no divergence
+  EXPECT_EQ(vol.missed_writes(), 0u);
+
+  a.fail = false;
+  b.fail = false;
+  std::vector<std::byte> back(2 * kSector);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 2, Pattern(2, 3))).ok());
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 2, back)).ok());
+  EXPECT_EQ(back, Pattern(2, 3));
+}
+
+TEST(MirrorVolumeTest, WriteErrorFailsTheMemberOutInsteadOfDiverging) {
+  // A live member whose write errors while a replica succeeds must leave the
+  // mirror degraded: otherwise later reads alternate between old and new
+  // data depending on which member they pick.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  MirrorVolume vol(sched.get(), "v", {&a, &b});
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 2, Pattern(2, 1))).ok());
+
+  b.fail = true;  // transient error, not marked by anyone
+  auto fresh = Pattern(2, 2);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 2, fresh)).ok());  // a persisted it
+  EXPECT_TRUE(vol.member_failed(1));
+  EXPECT_EQ(vol.live_member_count(), 1u);
+  EXPECT_EQ(vol.missed_writes(), 1u);
+
+  // Every read now comes from the member that has the new data.
+  b.fail = false;
+  std::vector<std::byte> back(2 * kSector);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 2, back)).ok());
+    EXPECT_EQ(back, fresh);
+  }
+  EXPECT_EQ(b.reads, 0);
+}
+
+TEST(VolumeFanoutTest, TransientWorkersAreReclaimed) {
+  // Fan-out workers are transient scheduler threads: a long run of split
+  // requests must not grow the scheduler's thread table per fragment.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(64);
+  MemDevice b(64);
+  StripedVolume vol(sched.get(), "v", {&a, &b}, 4);
+
+  constexpr int kOps = 50;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 32, {})).ok());  // 8 fragments each
+  }
+  EXPECT_GT(vol.requests(), 0u);
+  // One retained record per RunIo joiner; the 8 * kOps fragment workers are
+  // all reclaimed.
+  EXPECT_LE(sched->thread_record_count(), static_cast<size_t>(kOps) + 4);
+}
+
+TEST(VolumeStatsTest, ReportAndJson) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b}, 4);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 16, Pattern(16))).ok());
+
+  EXPECT_EQ(vol.stat_name(), "volume.v");
+  const std::string report = vol.StatReport(false);
+  EXPECT_NE(report.find("kind=striped"), std::string::npos);
+  EXPECT_NE(report.find("member 1:"), std::string::npos);
+  const std::string json = vol.StatJson();
+  EXPECT_NE(json.find("\"kind\":\"striped\""), std::string::npos);
+  EXPECT_NE(json.find("\"split_requests\":1"), std::string::npos);
+
+  StatsRegistry registry;
+  registry.Register(&vol);
+  const std::string all = registry.ReportJson();
+  EXPECT_EQ(all.find("{\"volume.v\":{"), 0u);
+  EXPECT_EQ(all.back(), '}');
+}
+
+}  // namespace
+}  // namespace pfs
