@@ -9,7 +9,8 @@
 using namespace pfs;
 using namespace pfs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonSink json("ablation_async_flush", argc, argv);
   const double scale = DefaultScale();
   std::printf("# Ablation: synchronous vs asynchronous cache flush (trace 1b, UPS policy)\n");
   WorkloadParams params = WorkloadParams::SpriteLike("1b", scale);
@@ -18,7 +19,8 @@ int main() {
   options.max_simulated_time = params.duration + Duration::Minutes(2);
 
   for (const bool async : {false, true}) {
-    PatsyConfig config = PaperConfig("ups");
+    PatsyConfig config = BaseScenario(argc, argv);
+    config.flush_policy = "ups";
     config.async_flush = async;
     auto result = RunTraceSimulation(config, GenerateWorkload(params), options);
     if (!result.ok()) {
@@ -31,6 +33,19 @@ int main() {
                 result->overall.Percentile(0.99).ToMillisF(),
                 result->writes.mean().ToMillisF(),
                 result->writes.Percentile(0.99).ToMillisF());
+    if (json.enabled()) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"ablation_async_flush\",\"async\":%s,\"scale\":%.3f,"
+                    "\"mean_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
+                    "\"write_mean_ms\":%.4f,\"write_p99_ms\":%.4f}",
+                    async ? "true" : "false", scale, result->overall.mean().ToMillisF(),
+                    result->overall.Percentile(0.95).ToMillisF(),
+                    result->overall.Percentile(0.99).ToMillisF(),
+                    result->writes.mean().ToMillisF(),
+                    result->writes.Percentile(0.99).ToMillisF());
+      json.Append(line);
+    }
   }
   std::printf("# expected: async flushing trims the allocation-path stalls (tail latency).\n");
   return 0;

@@ -9,7 +9,8 @@
 using namespace pfs;
 using namespace pfs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonSink json("ablation_cleaner", argc, argv);
   const double scale = DefaultScale();
   std::printf("# Ablation: LFS cleaner policy under overwrite pressure\n");
   WorkloadParams params = WorkloadParams::SpriteLike("2b", scale);
@@ -21,7 +22,8 @@ int main() {
   std::printf("%-14s %12s %12s %14s %14s\n", "cleaner", "mean-ms", "p95-ms",
               "segs-cleaned", "write-cost");
   for (const char* cleaner : {"greedy", "cost-benefit"}) {
-    PatsyConfig config = PaperConfig("write-delay");
+    PatsyConfig config = BaseScenario(argc, argv);
+    config.flush_policy = "write-delay";
     config.cleaner = cleaner;
     PatsyServer server(config);
     if (!server.Setup().ok()) {
@@ -48,6 +50,18 @@ int main() {
                 replayer.overall().Percentile(0.95).ToMillisF(),
                 static_cast<unsigned long long>(cleaned),
                 lfs_count > 0 ? write_cost / lfs_count : 0.0);
+    if (json.enabled()) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"ablation_cleaner\",\"cleaner\":\"%s\",\"scale\":%.3f,"
+                    "\"mean_ms\":%.4f,\"p95_ms\":%.4f,\"segments_cleaned\":%llu,"
+                    "\"write_cost\":%.4f}",
+                    cleaner, scale, replayer.overall().mean().ToMillisF(),
+                    replayer.overall().Percentile(0.95).ToMillisF(),
+                    static_cast<unsigned long long>(cleaned),
+                    lfs_count > 0 ? write_cost / lfs_count : 0.0);
+      json.Append(line);
+    }
   }
   std::printf("# expected: cost-benefit sustains a lower long-run write cost by\n");
   std::printf("# preferring cold segments (Rosenblum & Ousterhout).\n");

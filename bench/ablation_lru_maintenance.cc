@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/intrusive_list.h"
 #include "core/random.h"
 
@@ -58,6 +61,61 @@ void BM_IntrusiveListLru(benchmark::State& state) {
 }
 BENCHMARK(BM_IntrusiveListLru)->Arg(1024)->Arg(8192)->Arg(32768);
 
+// Console output plus, with --json, one JSON object per measured run
+// appended to BENCH_ablation_lru_maintenance.json — the same run-trail
+// format the trace benches use (JsonSink).
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesReporter(pfs::bench::JsonSink* sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    if (!sink_->enabled()) {
+      return;
+    }
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      const double cpu_ns_per_iter =
+          run.iterations > 0 ? run.cpu_accumulated_time * 1e9 /
+                                   static_cast<double>(run.iterations)
+                             : 0.0;
+      const auto items = run.counters.find("items_per_second");
+      char line[320];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"ablation_lru_maintenance\",\"name\":\"%s\","
+                    "\"iterations\":%lld,\"cpu_ns_per_iter\":%.2f,"
+                    "\"items_per_second\":%.0f}",
+                    run.benchmark_name().c_str(),
+                    static_cast<long long>(run.iterations), cpu_ns_per_iter,
+                    items != run.counters.end() ? static_cast<double>(items->second) : 0.0);
+      sink_->Append(line);
+    }
+  }
+
+ private:
+  pfs::bench::JsonSink* sink_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pfs::bench::JsonSink sink("ablation_lru_maintenance", argc, argv);
+  // Strip --json before Google Benchmark sees it (it rejects unknown flags).
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) != "--json") {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  JsonLinesReporter reporter(&sink);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

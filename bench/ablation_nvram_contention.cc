@@ -9,7 +9,8 @@
 using namespace pfs;
 using namespace pfs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonSink json("ablation_nvram_contention", argc, argv);
   const double scale = GetScale();
   std::printf("# Ablation: NVRAM size vs write latency under 2 MiB write bursts\n");
   BurstWorkloadParams burst;
@@ -21,7 +22,8 @@ int main() {
   std::printf("%-14s %14s %14s %14s %12s\n", "nvram", "write-mean-ms", "write-p99-ms",
               "read-mean-ms", "flushes");
   for (const uint64_t nvram_kb : {128, 512, 2048, 8192}) {
-    PatsyConfig config = PaperConfig("nvram-whole");
+    PatsyConfig config = BaseScenario(argc, argv);
+    config.flush_policy = "nvram-whole";
     config.nvram_bytes = nvram_kb * kKiB;
     auto result = RunTraceSimulation(config, GenerateBurstWorkload(burst), options);
     if (!result.ok()) {
@@ -34,9 +36,23 @@ int main() {
                 result->writes.Percentile(0.99).ToMillisF(),
                 result->reads.mean().ToMillisF(),
                 static_cast<unsigned long long>(result->blocks_flushed));
+    if (json.enabled()) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"ablation_nvram_contention\",\"nvram_kib\":%llu,"
+                    "\"scale\":%.3f,\"write_mean_ms\":%.4f,\"write_p99_ms\":%.4f,"
+                    "\"read_mean_ms\":%.4f,\"flushes\":%llu}",
+                    static_cast<unsigned long long>(nvram_kb), scale,
+                    result->writes.mean().ToMillisF(),
+                    result->writes.Percentile(0.99).ToMillisF(),
+                    result->reads.mean().ToMillisF(),
+                    static_cast<unsigned long long>(result->blocks_flushed));
+      json.Append(line);
+    }
   }
   // The UPS reference: the whole cache absorbs the burst.
-  PatsyConfig ups = PaperConfig("ups");
+  PatsyConfig ups = BaseScenario(argc, argv);
+  ups.flush_policy = "ups";
   auto result = RunTraceSimulation(ups, GenerateBurstWorkload(burst), options);
   if (result.ok()) {
     std::printf("%14s %14.3f %14.3f %14.3f %12llu\n", "UPS(all RAM)",
@@ -44,6 +60,18 @@ int main() {
                 result->writes.Percentile(0.99).ToMillisF(),
                 result->reads.mean().ToMillisF(),
                 static_cast<unsigned long long>(result->blocks_flushed));
+    if (json.enabled()) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"ablation_nvram_contention\",\"nvram_kib\":null,"
+                    "\"policy\":\"ups\",\"scale\":%.3f,\"write_mean_ms\":%.4f,"
+                    "\"write_p99_ms\":%.4f,\"read_mean_ms\":%.4f,\"flushes\":%llu}",
+                    scale, result->writes.mean().ToMillisF(),
+                    result->writes.Percentile(0.99).ToMillisF(),
+                    result->reads.mean().ToMillisF(),
+                    static_cast<unsigned long long>(result->blocks_flushed));
+      json.Append(line);
+    }
   }
   std::printf("# expected: small NVRAM -> write latency jumps toward disk speed;\n");
   std::printf("# the paper's conclusion: \"better to equip a file-system with a UPS\".\n");

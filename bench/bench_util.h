@@ -48,6 +48,23 @@ class JsonSink {
   std::string path_;
 };
 
+// --config <file> on a bench binary's command line: replace the default
+// Allspice base scenario with a parsed scenario file, so any textual
+// composition (other topologies, volumes, layouts) runs under the same
+// figure harness. A broken scenario file is fatal — a bench silently
+// falling back to the default would report the wrong system's numbers.
+inline SystemConfig BaseScenario(int argc, char** argv) {
+  auto args = ParseScenarioArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    std::exit(2);
+  }
+  if (args->scenario.has_value()) {
+    return *std::move(args->scenario);
+  }
+  return SystemConfig::AllspiceSim();
+}
+
 // BENCH_SCALE scales trace duration (1.0 default); the curves' shape is
 // stable across scales.
 inline double GetScale() {
@@ -84,14 +101,16 @@ inline PatsyConfig PaperConfig(const std::string& flush_policy) {
 }
 
 inline Result<SimulationResult> RunPolicy(const std::string& trace_name,
-                                          const std::string& policy, double scale) {
+                                          const std::string& policy, double scale,
+                                          SystemConfig base = SystemConfig::AllspiceSim()) {
   WorkloadParams params = WorkloadParams::SpriteLike(trace_name, scale);
   SimulationOptions options;
   options.collect_interval_reports = false;
   // Bound the run: a saturated configuration (cache permanently all-dirty)
   // must still terminate and report the latencies it measured.
   options.max_simulated_time = params.duration + Duration::Minutes(2);
-  return RunTraceSimulation(PaperConfig(policy), GenerateWorkload(params), options);
+  base.flush_policy = policy;
+  return RunTraceSimulation(base, GenerateWorkload(params), options);
 }
 
 // Prints one figure: the cumulative latency distribution for each policy on
@@ -101,13 +120,19 @@ inline Result<SimulationResult> RunPolicy(const std::string& trace_name,
 inline int RunCdfFigure(const char* figure, const char* trace_name, int argc = 0,
                         char** argv = nullptr, const char* json_tag = "cdf_figure") {
   JsonSink json(json_tag, argc, argv);
+  const SystemConfig base = BaseScenario(argc, argv);
   const double scale = DefaultScale();
   std::printf("# %s: cumulative distribution of file-system latencies, trace %s\n", figure,
               trace_name);
-  std::printf("# (Patsy, Allspice rebuild: 3 SCSI busses, 10x HP97560, 14x LFS; scale=%.2f)\n",
-              scale);
+  std::printf("# (Patsy, %d disk(s), %d file system(s), %s layout; scale=%.2f)\n",
+              [&] {
+                int total = 0;
+                for (int n : base.disks_per_bus) total += n;
+                return total;
+              }(),
+              base.num_filesystems, base.layout.c_str(), scale);
   for (const PolicyRun& run : PaperPolicies()) {
-    auto result = RunPolicy(trace_name, run.policy, scale);
+    auto result = RunPolicy(trace_name, run.policy, scale, base);
     if (!result.ok()) {
       std::printf("ERROR %s: %s\n", run.label.c_str(), result.status().ToString().c_str());
       return 1;

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   using namespace pfs;
   using namespace pfs::bench;
   JsonSink json("fig5", argc, argv);
+  const SystemConfig base = BaseScenario(argc, argv);
   const double scale = DefaultScale();
   const std::vector<std::string> traces = {"1a", "1b", "2a", "2b", "3a", "5"};
 
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     double nvram_whole = 0;
     double nvram_partial = 0;
     for (const PolicyRun& run : PaperPolicies()) {
-      auto result = RunPolicy(trace, run.policy, scale);
+      auto result = RunPolicy(trace, run.policy, scale, base);
       if (!result.ok()) {
         std::printf("  ERROR: %s\n", result.status().ToString().c_str());
         return 1;

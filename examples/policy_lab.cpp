@@ -2,9 +2,11 @@
 // sweep the cache flush policies off-line, and see which one you would
 // migrate into the production file system.
 //
-//   ./policy_lab [trace-name] [scale]
+//   ./policy_lab [trace-name] [scale] [--config file.scenario]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "patsy/patsy.h"
 #include "workload/generator.h"
@@ -12,8 +14,16 @@
 using namespace pfs;
 
 int main(int argc, char** argv) {
-  const std::string trace_name = argc > 1 ? argv[1] : "1a";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+  auto args = ParseScenarioArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  // The Allspice rebuild unless --config says otherwise.
+  const PatsyConfig base = args->scenario.value_or(PatsyConfig{});
+  const std::vector<std::string>& positional = args->positional;
+  const std::string trace_name = positional.size() > 0 ? positional[0] : "1a";
+  const double scale = positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.25;
 
   std::printf("policy lab: trace %s (scale %.2f) on the Allspice rebuild\n\n",
               trace_name.c_str(), scale);
@@ -27,7 +37,7 @@ int main(int argc, char** argv) {
   double best_mean = 1e100;
   std::string best_policy;
   for (const char* policy : {"write-delay", "nvram-partial", "nvram-whole", "ups"}) {
-    PatsyConfig config;
+    PatsyConfig config = base;
     config.flush_policy = policy;
     auto result = RunTraceSimulation(config, GenerateWorkload(params), options);
     if (!result.ok()) {

@@ -2,21 +2,36 @@
 // create a directory tree, write and read files, and print the component
 // statistics — the whole public API surface in ~80 lines.
 //
-//   ./quickstart
+//   ./quickstart [--config file.scenario]
 #include <cstdio>
+#include <cstring>
 
 #include "patsy/patsy.h"
 
 using namespace pfs;
 
-int main() {
+int main(int argc, char** argv) {
   // A small server: one SCSI bus, two HP97560 disks, two LFS file systems,
-  // a 4 MiB cache with the UPS write-saving policy.
+  // a 4 MiB cache with the UPS write-saving policy — or any textual
+  // scenario, via --config.
   PatsyConfig config;
   config.disks_per_bus = {2};
   config.num_filesystems = 2;
   config.cache_bytes = 4 * kMiB;
   config.flush_policy = "ups";
+  auto args = ParseScenarioArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  if (args->scenario.has_value()) {
+    config = *args->scenario;
+    if (config.mount_prefix != "fs") {
+      std::fprintf(stderr, "quickstart walks /fs0; the scenario must keep "
+                           "mount_prefix = fs\n");
+      return 2;
+    }
+  }
   PatsyServer server(config);
   if (!server.Setup().ok()) {
     std::fprintf(stderr, "setup failed\n");

@@ -3,9 +3,12 @@
 // Sprite reader, replay it on the Allspice topology, and print the
 // measurements.
 //
-//   ./replay_trace [trace-name] [scale]     e.g. ./replay_trace 1b 0.5
+//   ./replay_trace [trace-name] [scale] [--config file.scenario]
+//   e.g. ./replay_trace 1b 0.5
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "patsy/patsy.h"
 #include "workload/generator.h"
@@ -13,8 +16,16 @@
 using namespace pfs;
 
 int main(int argc, char** argv) {
-  const std::string trace_name = argc > 1 ? argv[1] : "1a";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+  auto args = ParseScenarioArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  const bool config_given = args->scenario.has_value();
+  const PatsyConfig base = args->scenario.value_or(SystemConfig::AllspiceSim());
+  const std::vector<std::string>& positional = args->positional;
+  const std::string trace_name = positional.size() > 0 ? positional[0] : "1a";
+  const double scale = positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.25;
 
   // Generate and round-trip through the on-disk trace format.
   const std::string path = "/tmp/pfs_example_trace_" + trace_name + ".sprite";
@@ -31,8 +42,10 @@ int main(int argc, char** argv) {
   std::printf("trace %s: %zu records in %s\n", trace_name.c_str(), records->size(),
               path.c_str());
 
-  PatsyConfig config = SystemConfig::AllspiceSim();  // the Allspice rebuild
-  config.flush_policy = "write-delay";
+  PatsyConfig config = base;  // the Allspice rebuild, or the --config scenario
+  if (!config_given) {
+    config.flush_policy = "write-delay";
+  }
   auto result = RunTraceSimulation(config, std::move(*records));
   if (!result.ok()) {
     std::fprintf(stderr, "simulation failed: %s\n", result.status().ToString().c_str());

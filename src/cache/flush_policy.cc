@@ -2,6 +2,7 @@
 
 #include "cache/buffer_cache.h"
 #include "core/check.h"
+#include "system/component_registry.h"
 
 namespace pfs {
 
@@ -60,21 +61,23 @@ Task<Status> NvramPolicy::MakeSpace() {
   co_return co_await cache_->FlushOldest(options_.whole_file);
 }
 
+void RegisterBuiltinFlushPolicies() {
+  FlushPolicyRegistry::Register(
+      "write-delay", [](const FlushPolicyOptions&) { return std::make_unique<WriteDelayPolicy>(); });
+  FlushPolicyRegistry::Register(
+      "ups", [](const FlushPolicyOptions&) { return std::make_unique<UpsPolicy>(); });
+  FlushPolicyRegistry::Register("nvram-whole", [](const FlushPolicyOptions& options) {
+    return std::make_unique<NvramPolicy>(NvramPolicy::Options{options.nvram_bytes, true});
+  });
+  FlushPolicyRegistry::Register("nvram-partial", [](const FlushPolicyOptions& options) {
+    return std::make_unique<NvramPolicy>(NvramPolicy::Options{options.nvram_bytes, false});
+  });
+}
+
 std::unique_ptr<FlushPolicy> MakeFlushPolicy(const std::string& name) {
-  if (name == "write-delay") {
-    return std::make_unique<WriteDelayPolicy>();
-  }
-  if (name == "ups") {
-    return std::make_unique<UpsPolicy>();
-  }
-  if (name == "nvram-whole") {
-    return std::make_unique<NvramPolicy>(NvramPolicy::Options{4 * kMiB, true});
-  }
-  if (name == "nvram-partial") {
-    return std::make_unique<NvramPolicy>(NvramPolicy::Options{4 * kMiB, false});
-  }
-  PFS_CHECK_MSG(false, "unknown flush policy");
-  return nullptr;
+  const auto* factory = FlushPolicyRegistry::Find(name);
+  PFS_CHECK_MSG(factory != nullptr, "unknown flush policy");
+  return (*factory)(FlushPolicyOptions{});
 }
 
 }  // namespace pfs

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "core/check.h"
+#include "system/component_registry.h"
 
 namespace pfs {
 
@@ -116,25 +117,24 @@ CacheBlock* Lru2Replacement::PickVictim(BlockLruList& clean) {
   return nullptr;
 }
 
+void RegisterBuiltinReplacementPolicies() {
+  ReplacementRegistry::Register("LRU",
+                                [](uint64_t) { return std::make_unique<LruReplacement>(); });
+  ReplacementRegistry::Register(
+      "RANDOM", [](uint64_t seed) { return std::make_unique<RandomReplacement>(seed); });
+  ReplacementRegistry::Register("LFU",
+                                [](uint64_t) { return std::make_unique<LfuReplacement>(); });
+  ReplacementRegistry::Register("SLRU",
+                                [](uint64_t) { return std::make_unique<SlruReplacement>(); });
+  ReplacementRegistry::Register("LRU-2",
+                                [](uint64_t) { return std::make_unique<Lru2Replacement>(); });
+}
+
 std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(const std::string& name,
                                                          uint64_t seed) {
-  if (name == "LRU") {
-    return std::make_unique<LruReplacement>();
-  }
-  if (name == "RANDOM") {
-    return std::make_unique<RandomReplacement>(seed);
-  }
-  if (name == "LFU") {
-    return std::make_unique<LfuReplacement>();
-  }
-  if (name == "SLRU") {
-    return std::make_unique<SlruReplacement>();
-  }
-  if (name == "LRU-2") {
-    return std::make_unique<Lru2Replacement>();
-  }
-  PFS_CHECK_MSG(false, "unknown replacement policy");
-  return nullptr;
+  const auto* factory = ReplacementRegistry::Find(name);
+  PFS_CHECK_MSG(factory != nullptr, "unknown replacement policy");
+  return (*factory)(seed);
 }
 
 }  // namespace pfs

@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "core/log.h"
+#include "system/component_registry.h"
 
 namespace pfs {
+
+void RegisterBuiltinDiskModels() {
+  // Keyed by DiskParams::model_name, so configs serialize by model name.
+  DiskModelRegistry::Register("HP97560", [] { return DiskParams::Hp97560(); });
+  DiskModelRegistry::Register("SyntheticTest", [] { return DiskParams::SyntheticTest(); });
+}
 
 DiskParams DiskParams::Hp97560() {
   DiskParams p;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "system/component_registry.h"
+
 namespace pfs {
 
 const char* QueueSchedPolicyName(QueueSchedPolicy p) {
@@ -30,23 +32,21 @@ constexpr QueueSchedPolicy kAllQueueSchedPolicies[] = {
     QueueSchedPolicy::kCscan, QueueSchedPolicy::kLook, QueueSchedPolicy::kClook};
 }  // namespace
 
-std::optional<QueueSchedPolicy> QueueSchedPolicyFromName(std::string_view name) {
+void RegisterBuiltinQueuePolicies() {
   for (QueueSchedPolicy p : kAllQueueSchedPolicies) {
-    if (name == QueueSchedPolicyName(p)) {
-      return p;
-    }
+    QueuePolicyRegistry::Register(QueueSchedPolicyName(p), p);
   }
-  return std::nullopt;
 }
 
-std::string QueueSchedPolicyNames() {
-  std::string out;
-  for (QueueSchedPolicy p : kAllQueueSchedPolicies) {
-    out += out.empty() ? "" : ", ";
-    out += QueueSchedPolicyName(p);
+std::optional<QueueSchedPolicy> QueueSchedPolicyFromName(std::string_view name) {
+  const QueueSchedPolicy* policy = QueuePolicyRegistry::Find(name);
+  if (policy == nullptr) {
+    return std::nullopt;
   }
-  return out;
+  return *policy;
 }
+
+std::string QueueSchedPolicyNames() { return QueuePolicyRegistry::NameList(); }
 
 QueueingDiskDriver::QueueingDiskDriver(Scheduler* sched, std::string name,
                                        QueueSchedPolicy policy)

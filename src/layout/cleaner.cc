@@ -1,6 +1,7 @@
 #include "layout/cleaner.h"
 
 #include "core/check.h"
+#include "system/component_registry.h"
 
 namespace pfs {
 
@@ -43,15 +44,16 @@ int64_t CostBenefitCleanerPolicy::PickSegment(std::span<const SegmentInfo> segme
   return best;
 }
 
+void RegisterBuiltinCleaners() {
+  CleanerRegistry::Register("greedy", [] { return std::make_unique<GreedyCleanerPolicy>(); });
+  CleanerRegistry::Register("cost-benefit",
+                            [] { return std::make_unique<CostBenefitCleanerPolicy>(); });
+}
+
 std::unique_ptr<CleanerPolicy> MakeCleanerPolicy(const std::string& name) {
-  if (name == "greedy") {
-    return std::make_unique<GreedyCleanerPolicy>();
-  }
-  if (name == "cost-benefit") {
-    return std::make_unique<CostBenefitCleanerPolicy>();
-  }
-  PFS_CHECK_MSG(false, "unknown cleaner policy");
-  return nullptr;
+  const auto* factory = CleanerRegistry::Find(name);
+  PFS_CHECK_MSG(factory != nullptr, "unknown cleaner policy");
+  return (*factory)();
 }
 
 }  // namespace pfs

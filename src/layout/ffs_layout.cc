@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/log.h"
+#include "system/component_registry.h"
 
 namespace pfs {
 namespace {
@@ -441,6 +442,22 @@ std::string FfsLayout::StatReport(bool with_histograms) const {
                 static_cast<unsigned long long>(blocks_read_.value()),
                 static_cast<unsigned long long>(inode_writes_.value()));
   return buf;
+}
+
+void RegisterFfsLayout() {
+  LayoutRegistry::Register(
+      "ffs", {[](LayoutContext ctx) -> std::unique_ptr<StorageLayout> {
+                FfsConfig ffs;
+                ffs.fs_id = static_cast<uint32_t>(ctx.fs_index);
+                ffs.materialize_metadata = !ctx.config->simulated();
+                return std::make_unique<FfsLayout>(ctx.sched, std::move(ctx.dev), ffs);
+              },
+              [](const SystemConfig& config) {
+                FfsConfig ffs;
+                ffs.materialize_metadata = !config.simulated();
+                return FfsLayout::MinPartitionBlocks(ffs);
+              },
+              nullptr});
 }
 
 }  // namespace pfs

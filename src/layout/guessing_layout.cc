@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "system/component_registry.h"
+
 namespace pfs {
 
 uint64_t GuessingLayout::GuessBase(uint64_t ino) {
@@ -86,6 +88,19 @@ Task<Status> GuessingLayout::TruncateBlocks(uint64_t ino, uint64_t from_block) {
   (void)ino;
   (void)from_block;
   co_return OkStatus();  // nothing to account: space is guessed, not managed
+}
+
+void RegisterGuessingLayout() {
+  LayoutRegistry::Register(
+      "guessing",
+      {[](LayoutContext ctx) -> std::unique_ptr<StorageLayout> {
+         GuessingConfig guess;
+         guess.fs_id = static_cast<uint32_t>(ctx.fs_index);
+         guess.seed = ctx.config->seed + static_cast<uint64_t>(ctx.fs_index);
+         return std::make_unique<GuessingLayout>(ctx.sched, std::move(ctx.dev), guess);
+       },
+       [](const SystemConfig&) -> uint64_t { return 64; },
+       nullptr});
 }
 
 }  // namespace pfs

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/log.h"
+#include "system/component_registry.h"
 
 namespace pfs {
 namespace {
@@ -892,6 +893,41 @@ std::string LfsLayout::StatReport(bool with_histograms) const {
     out += "cleaned-segment utilization:\n" + cleaned_utilization_.BucketDump();
   }
   return out;
+}
+
+namespace {
+
+LfsConfig LfsConfigFrom(const SystemConfig& config, int fs_index) {
+  LfsConfig lfs;
+  lfs.fs_id = static_cast<uint32_t>(fs_index);
+  lfs.segment_blocks = config.lfs_segment_blocks;
+  lfs.max_inodes = config.max_inodes;
+  lfs.materialize_metadata = !config.simulated();
+  return lfs;
+}
+
+}  // namespace
+
+void RegisterLfsLayout() {
+  LayoutRegistry::Register(
+      "lfs",
+      {[](LayoutContext ctx) -> std::unique_ptr<StorageLayout> {
+         const auto* make_cleaner = CleanerRegistry::Find(ctx.config->cleaner);
+         PFS_CHECK_MSG(make_cleaner != nullptr, "cleaner name validated before build");
+         return std::make_unique<LfsLayout>(ctx.sched, std::move(ctx.dev),
+                                            LfsConfigFrom(*ctx.config, ctx.fs_index),
+                                            (*make_cleaner)());
+       },
+       [](const SystemConfig& config) {
+         return LfsLayout::MinPartitionBlocks(LfsConfigFrom(config, 0));
+       },
+       [](const SystemConfig& config) {
+         if (config.lfs_segment_blocks < 4) {
+           return Status(ErrorCode::kInvalidArgument,
+                         "lfs_segment_blocks: segments need at least 4 blocks");
+         }
+         return OkStatus();
+       }});
 }
 
 }  // namespace pfs

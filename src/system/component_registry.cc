@@ -1,0 +1,37 @@
+#include "system/component_registry.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace pfs {
+
+void EnsureBuiltinComponentsRegistered() {
+  // Not std::call_once: the registration hooks below call Register, which
+  // itself calls back into this function (so user registrations made before
+  // any lookup are ordered after the builtins and can shadow them). The
+  // thread_local flag breaks that recursion; the mutex serializes threads.
+  static std::atomic<bool> done{false};
+  static thread_local bool registering = false;
+  if (done.load(std::memory_order_acquire) || registering) {
+    return;
+  }
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (done.load(std::memory_order_relaxed)) {
+    return;
+  }
+  registering = true;
+  RegisterLfsLayout();
+  RegisterFfsLayout();
+  RegisterGuessingLayout();
+  RegisterBuiltinCleaners();
+  RegisterBuiltinReplacementPolicies();
+  RegisterBuiltinFlushPolicies();
+  RegisterBuiltinVolumeKinds();
+  RegisterBuiltinQueuePolicies();
+  RegisterBuiltinDiskModels();
+  registering = false;
+  done.store(true, std::memory_order_release);
+}
+
+}  // namespace pfs

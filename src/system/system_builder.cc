@@ -5,9 +5,7 @@
 
 #include "driver/file_backed_driver.h"
 #include "driver/sim_disk_driver.h"
-#include "layout/ffs_layout.h"
-#include "layout/guessing_layout.h"
-#include "layout/lfs_layout.h"
+#include "system/component_registry.h"
 
 namespace pfs {
 namespace {
@@ -75,17 +73,26 @@ Result<std::vector<VolumePlan>> PlanVolumes(const SystemConfig& config) {
   for (size_t i = 0; i < specs.size(); ++i) {
     const VolumeSpec& spec = specs[i];
     const std::string prefix = "volumes[" + std::to_string(i) + "]";
-    if (spec.kind != "single" && spec.kind != "concat" && spec.kind != "striped" &&
-        spec.kind != "mirror") {
-      return Invalid(prefix + ".kind: unknown name \"" + spec.kind +
-                     "\" (expected single, concat, striped, or mirror)");
+    const VolumeKindFamily::Value* kind = VolumeKindRegistry::Find(spec.kind);
+    if (kind == nullptr) {
+      return VolumeKindRegistry::UnknownNameError(prefix + ".kind", spec.kind);
     }
     if (spec.members.empty()) {
       return Invalid(prefix + ".members: at least one disk is required");
     }
-    if (spec.kind == "single" && spec.members.size() != 1) {
-      return Invalid(prefix + ".members: kind \"single\" takes exactly one disk, got " +
+    if (spec.members.size() < kind->min_members) {
+      return Invalid(prefix + ".members: kind \"" + spec.kind + "\" needs at least " +
+                     std::to_string(kind->min_members) + " disks, got " +
                      std::to_string(spec.members.size()));
+    }
+    if (spec.members.size() > kind->max_members) {
+      return Invalid(prefix + ".members: kind \"" + spec.kind + "\" takes at most " +
+                     std::to_string(kind->max_members) + " disk(s), got " +
+                     std::to_string(spec.members.size()));
+    }
+    if (!spec.failed_members.empty() && !kind->allows_degraded_start) {
+      return Invalid(prefix + ".failed_members: kind \"" + spec.kind +
+                     "\" cannot start degraded (only mirrors can)");
     }
     for (size_t m = 0; m < spec.members.size(); ++m) {
       const int d = spec.members[m];
@@ -101,17 +108,8 @@ Result<std::vector<VolumePlan>> PlanVolumes(const SystemConfig& config) {
         }
       }
     }
-    if (spec.kind == "striped") {
-      if (spec.stripe_unit_kb == 0) {
-        return Invalid(prefix + ".stripe_unit_kb: stripe unit must be positive");
-      }
-      // Units must be whole sectors, or the unit arithmetic truncates (and a
-      // unit smaller than one sector would divide by zero below).
-      if (spec.stripe_unit_kb * kKiB % sector_bytes != 0) {
-        return Invalid(prefix + ".stripe_unit_kb: " + std::to_string(spec.stripe_unit_kb) +
-                       " KiB is not a multiple of the " + std::to_string(sector_bytes) +
-                       "-byte sector");
-      }
+    if (kind->validate != nullptr) {
+      PFS_RETURN_IF_ERROR(kind->validate(spec, sector_bytes, prefix));
     }
   }
 
@@ -139,29 +137,17 @@ Result<std::vector<VolumePlan>> PlanVolumes(const SystemConfig& config) {
       const uint64_t start_block = slice_blocks * next_slot[static_cast<size_t>(d)]++;
       plan.slices.push_back({d, start_block * spb, slice_blocks * spb});
     }
-    // Capacity via the volume classes' own formulas, so Validate can never
+    // Capacity via the volume kinds' own formulas, so Validate can never
     // accept a config whose constructed volume sizes itself differently.
     std::vector<uint64_t> slice_sectors;
     for (const SlicePlan& s : plan.slices) {
       slice_sectors.push_back(s.nsectors);
     }
-    if (plan.spec.kind == "concat") {
-      plan.fs_blocks = ConcatVolume::CapacitySectors(slice_sectors) / spb;
-    } else if (plan.spec.kind == "mirror") {
-      plan.fs_blocks = MirrorVolume::CapacitySectors(slice_sectors) / spb;
-    } else if (plan.spec.kind == "striped") {
-      const uint32_t unit_sectors =
-          static_cast<uint32_t>(plan.spec.stripe_unit_kb * kKiB / sector_bytes);
-      const uint64_t capacity = StripedVolume::CapacitySectors(slice_sectors, unit_sectors);
-      if (capacity == 0) {
-        return Invalid("volumes[" + std::to_string(i) +
-                       "].stripe_unit_kb: one stripe unit exceeds the smallest member "
-                       "slice");
-      }
-      plan.fs_blocks = capacity / spb;
-    } else {
-      plan.fs_blocks = slice_sectors[0] / spb;
-    }
+    const VolumeKindFamily::Value& kind = *VolumeKindRegistry::Find(plan.spec.kind);
+    PFS_ASSIGN_OR_RETURN(const uint64_t capacity,
+                         kind.capacity_sectors(slice_sectors, plan.spec, sector_bytes,
+                                               "volumes[" + std::to_string(i) + "]"));
+    plan.fs_blocks = capacity / spb;
     if (plan.fs_blocks < min_blocks) {
       if (defaulted) {
         return Invalid("num_filesystems: " + std::to_string(config.num_filesystems) + " " +
@@ -179,45 +165,12 @@ Result<std::vector<VolumePlan>> PlanVolumes(const SystemConfig& config) {
   return plans;
 }
 
-std::unique_ptr<FlushPolicy> MakeConfiguredFlushPolicy(const SystemConfig& config) {
-  if (config.flush_policy == "write-delay") {
-    return std::make_unique<WriteDelayPolicy>();
-  }
-  if (config.flush_policy == "ups") {
-    return std::make_unique<UpsPolicy>();
-  }
-  if (config.flush_policy == "nvram-whole") {
-    return std::make_unique<NvramPolicy>(NvramPolicy::Options{config.nvram_bytes, true});
-  }
-  if (config.flush_policy == "nvram-partial") {
-    return std::make_unique<NvramPolicy>(NvramPolicy::Options{config.nvram_bytes, false});
-  }
-  return nullptr;  // Validate() rejected this name already
-}
-
 std::unique_ptr<StorageLayout> MakeLayout(Scheduler* sched, BlockDev dev,
                                           const SystemConfig& config, int fs_index,
                                           StatsRegistry* stats) {
-  std::unique_ptr<StorageLayout> layout;
-  if (config.layout == "lfs") {
-    LfsConfig lfs;
-    lfs.fs_id = static_cast<uint32_t>(fs_index);
-    lfs.segment_blocks = config.lfs_segment_blocks;
-    lfs.max_inodes = config.max_inodes;
-    lfs.materialize_metadata = !config.simulated();
-    layout = std::make_unique<LfsLayout>(sched, std::move(dev), lfs,
-                                         MakeCleanerPolicy(config.cleaner));
-  } else if (config.layout == "ffs") {
-    FfsConfig ffs;
-    ffs.fs_id = static_cast<uint32_t>(fs_index);
-    ffs.materialize_metadata = !config.simulated();
-    layout = std::make_unique<FfsLayout>(sched, std::move(dev), ffs);
-  } else {
-    GuessingConfig guess;
-    guess.fs_id = static_cast<uint32_t>(fs_index);
-    guess.seed = config.seed + static_cast<uint64_t>(fs_index);
-    layout = std::make_unique<GuessingLayout>(sched, std::move(dev), guess);
-  }
+  const LayoutFamily::Value& family = *LayoutRegistry::Find(config.layout);
+  std::unique_ptr<StorageLayout> layout =
+      family.make(LayoutContext{sched, std::move(dev), &config, fs_index});
   if (auto* source = dynamic_cast<StatSource*>(layout.get()); source != nullptr) {
     stats->Register(source);
   }
@@ -226,57 +179,12 @@ std::unique_ptr<StorageLayout> MakeLayout(Scheduler* sched, BlockDev dev,
 
 }  // namespace
 
-const char* BackendKindName(BackendKind k) {
-  switch (k) {
-    case BackendKind::kSimulated:
-      return "simulated";
-    case BackendKind::kFileBacked:
-      return "file-backed";
-  }
-  return "?";
-}
-
-const char* ClockKindName(ClockKind k) {
-  switch (k) {
-    case ClockKind::kAuto:
-      return "auto";
-    case ClockKind::kVirtual:
-      return "virtual";
-    case ClockKind::kReal:
-      return "real";
-  }
-  return "?";
-}
-
-SystemConfig SystemConfig::AllspiceSim() { return SystemConfig{}; }
-
-SystemConfig SystemConfig::OnlineDefaults() {
-  SystemConfig config;
-  config.backend = BackendKind::kFileBacked;
-  config.seed = 1;
-  config.disks_per_bus = {1};
-  config.num_filesystems = 1;
-  config.cache_bytes = 8 * kMiB;
-  config.lfs_segment_blocks = 64;
-  config.max_inodes = 4096;
-  return config;
-}
-
 uint64_t SystemBuilder::MinBlocksPerFilesystem(const SystemConfig& config) {
-  if (config.layout == "ffs") {
-    FfsConfig ffs;
-    ffs.materialize_metadata = !config.simulated();
-    return FfsLayout::MinPartitionBlocks(ffs);
+  const LayoutFamily::Value* family = LayoutRegistry::Find(config.layout);
+  if (family == nullptr) {
+    return 0;  // Validate reports the unknown layout name itself
   }
-  if (config.layout == "guessing") {
-    return 64;
-  }
-  // LFS: enough room for the checkpoint regions plus 16 segments, so the
-  // cleaner has segments to work with.
-  LfsConfig lfs;
-  lfs.segment_blocks = config.lfs_segment_blocks;
-  lfs.max_inodes = config.max_inodes;
-  return LfsLayout::MinPartitionBlocks(lfs);
+  return family->min_partition_blocks(config);
 }
 
 namespace {
@@ -299,31 +207,24 @@ Status ValidateStack(const SystemConfig& config) {
   if (config.num_filesystems < 1) {
     return Invalid("num_filesystems: at least one file system is required");
   }
-  if (config.layout != "lfs" && config.layout != "ffs" && config.layout != "guessing") {
-    return Invalid("layout: unknown name \"" + config.layout +
-                   "\" (expected lfs, ffs, or guessing)");
+  const LayoutFamily::Value* layout = LayoutRegistry::Find(config.layout);
+  if (layout == nullptr) {
+    return LayoutRegistry::UnknownNameError("layout", config.layout);
   }
-  if (!QueueSchedPolicyFromName(config.queue_policy).has_value()) {
-    return Invalid("queue_policy: unknown name \"" + config.queue_policy + "\" (expected " +
-                   QueueSchedPolicyNames() + ")");
+  if (!QueuePolicyRegistry::Contains(config.queue_policy)) {
+    return QueuePolicyRegistry::UnknownNameError("queue_policy", config.queue_policy);
   }
-  if (config.cleaner != "greedy" && config.cleaner != "cost-benefit") {
-    return Invalid("cleaner: unknown name \"" + config.cleaner +
-                   "\" (expected greedy or cost-benefit)");
+  if (!CleanerRegistry::Contains(config.cleaner)) {
+    return CleanerRegistry::UnknownNameError("cleaner", config.cleaner);
   }
-  if (config.replacement != "LRU" && config.replacement != "RANDOM" &&
-      config.replacement != "LFU" && config.replacement != "SLRU" &&
-      config.replacement != "LRU-2") {
-    return Invalid("replacement: unknown name \"" + config.replacement +
-                   "\" (expected LRU, RANDOM, LFU, SLRU, or LRU-2)");
+  if (!ReplacementRegistry::Contains(config.replacement)) {
+    return ReplacementRegistry::UnknownNameError("replacement", config.replacement);
   }
-  if (config.flush_policy != "write-delay" && config.flush_policy != "ups" &&
-      config.flush_policy != "nvram-whole" && config.flush_policy != "nvram-partial") {
-    return Invalid("flush_policy: unknown name \"" + config.flush_policy +
-                   "\" (expected write-delay, ups, nvram-whole, or nvram-partial)");
+  if (!FlushPolicyRegistry::Contains(config.flush_policy)) {
+    return FlushPolicyRegistry::UnknownNameError("flush_policy", config.flush_policy);
   }
-  if (config.layout == "lfs" && config.lfs_segment_blocks < 4) {
-    return Invalid("lfs_segment_blocks: segments need at least 4 blocks");
+  if (layout->validate != nullptr) {
+    PFS_RETURN_IF_ERROR(layout->validate(config));
   }
   if (config.cache_bytes < kDefaultBlockSize) {
     return Invalid("cache_bytes: smaller than one block");
@@ -355,7 +256,7 @@ Status SystemBuilder::Validate(const SystemConfig& config) {
 Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config) {
   PFS_RETURN_IF_ERROR(ValidateStack(config));
   PFS_ASSIGN_OR_RETURN(std::vector<VolumePlan> plans, PlanVolumes(config));
-  const QueueSchedPolicy queue_policy = *QueueSchedPolicyFromName(config.queue_policy);
+  const QueueSchedPolicy queue_policy = *QueuePolicyRegistry::Find(config.queue_policy);
   auto system = std::unique_ptr<System>(new System());
   System& sys = *system;
   sys.config_ = config;
@@ -408,8 +309,10 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
   cache_config.allocate_memory = !config.simulated();
   cache_config.async_flush = config.async_flush;
   sys.cache_ = std::make_unique<BufferCache>(
-      sched, cache_config, MakeReplacementPolicy(config.replacement, config.seed),
-      MakeConfiguredFlushPolicy(config));
+      sched, cache_config,
+      (*ReplacementRegistry::Find(config.replacement))(config.seed),
+      (*FlushPolicyRegistry::Find(config.flush_policy))(
+          FlushPolicyOptions{config.nvram_bytes}));
   sys.stats_.Register(sys.cache_.get());
   if (config.simulated()) {
     sys.mover_ = std::make_unique<SimDataMover>(sched, config.host);
@@ -424,33 +327,15 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
   for (int f = 0; f < config.num_filesystems; ++f) {
     const VolumePlan& plan = plans[static_cast<size_t>(f)];
     const std::string vol_name = config.mount_prefix + std::to_string(f);
-    std::vector<BlockDevice*> members;
-    std::unique_ptr<Volume> top;
-    if (plan.spec.kind == "single") {
-      const SlicePlan& s = plan.slices[0];
-      top = std::make_unique<SingleDiskVolume>(
-          sched, vol_name, sys.drivers_[static_cast<size_t>(s.disk)].get(), s.start_sector,
-          s.nsectors);
-    } else {
-      for (size_t j = 0; j < plan.slices.size(); ++j) {
-        const SlicePlan& s = plan.slices[j];
-        auto part = std::make_unique<SingleDiskVolume>(
-            sched, vol_name + ".m" + std::to_string(j),
-            sys.drivers_[static_cast<size_t>(s.disk)].get(), s.start_sector, s.nsectors);
-        members.push_back(part.get());
-        sys.volume_parts_.push_back(std::move(part));
-      }
-      if (plan.spec.kind == "concat") {
-        top = std::make_unique<ConcatVolume>(sched, vol_name, std::move(members));
-      } else if (plan.spec.kind == "striped") {
-        const uint32_t unit_sectors = static_cast<uint32_t>(
-            plan.spec.stripe_unit_kb * kKiB / sys.drivers_[0]->sector_bytes());
-        top = std::make_unique<StripedVolume>(sched, vol_name, std::move(members),
-                                              unit_sectors);
-      } else {
-        top = std::make_unique<MirrorVolume>(sched, vol_name, std::move(members));
-      }
+    std::vector<VolumeSliceRef> slices;
+    for (const SlicePlan& s : plan.slices) {
+      slices.push_back(VolumeSliceRef{sys.drivers_[static_cast<size_t>(s.disk)].get(),
+                                      s.start_sector, s.nsectors});
     }
+    const VolumeKindFamily::Value& kind = *VolumeKindRegistry::Find(plan.spec.kind);
+    std::unique_ptr<Volume> top =
+        kind.assemble(sched, vol_name, slices, plan.spec, sys.drivers_[0]->sector_bytes(),
+                      &sys.volume_parts_);
     sys.stats_.Register(top.get());
     BlockDev dev(top.get(), kDefaultBlockSize);
     sys.fs_volumes_.push_back(std::move(top));

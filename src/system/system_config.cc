@@ -1,0 +1,511 @@
+// SystemConfig's textual scenario API: Parse/ToString over a flat
+// "key = value" format, so a complete file-server composition is a text file
+// (examples/scenarios/) instead of compiled C++. Component names are checked
+// against the registries at parse time, with the registered alternatives
+// enumerated in every rejection.
+#include "system/system_config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "system/component_registry.h"
+
+namespace pfs {
+
+const char* BackendKindName(BackendKind k) {
+  switch (k) {
+    case BackendKind::kSimulated:
+      return "simulated";
+    case BackendKind::kFileBacked:
+      return "file-backed";
+  }
+  return "?";
+}
+
+const char* ClockKindName(ClockKind k) {
+  switch (k) {
+    case ClockKind::kAuto:
+      return "auto";
+    case ClockKind::kVirtual:
+      return "virtual";
+    case ClockKind::kReal:
+      return "real";
+  }
+  return "?";
+}
+
+SystemConfig SystemConfig::AllspiceSim() { return SystemConfig{}; }
+
+SystemConfig SystemConfig::OnlineDefaults() {
+  SystemConfig config;
+  config.backend = BackendKind::kFileBacked;
+  config.seed = 1;
+  config.disks_per_bus = {1};
+  config.num_filesystems = 1;
+  config.cache_bytes = 8 * kMiB;
+  config.lfs_segment_blocks = 64;
+  config.max_inodes = 4096;
+  return config;
+}
+
+namespace {
+
+Status LineError(int line, const std::string& message) {
+  return Status(ErrorCode::kInvalidArgument, "line " + std::to_string(line) + ": " + message);
+}
+
+std::string Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return std::string(s.substr(begin, end - begin));
+}
+
+// "48MiB" / "64KiB" / "1GiB" / "123": byte counts take an optional binary
+// suffix; every other number is plain digits.
+Result<uint64_t> ParseBytes(const std::string& value) {
+  uint64_t multiplier = 1;
+  std::string digits = value;
+  const auto suffix_at = value.find_first_not_of("0123456789");
+  if (suffix_at != std::string::npos) {
+    const std::string suffix = value.substr(suffix_at);
+    digits = value.substr(0, suffix_at);
+    if (suffix == "KiB") {
+      multiplier = kKiB;
+    } else if (suffix == "MiB") {
+      multiplier = kMiB;
+    } else if (suffix == "GiB") {
+      multiplier = kGiB;
+    } else {
+      return Status(ErrorCode::kInvalidArgument,
+                    "\"" + value + "\" is not a byte count (digits + optional KiB/MiB/GiB)");
+    }
+  }
+  if (digits.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "\"" + value + "\" is not a byte count");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(digits.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return Status(ErrorCode::kInvalidArgument, "\"" + value + "\" is not a number");
+  }
+  return static_cast<uint64_t>(parsed) * multiplier;
+}
+
+Result<uint64_t> ParseUint(const std::string& value) {
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "\"" + value + "\" is not a non-negative integer");
+  }
+  return ParseBytes(value);
+}
+
+// Bounded integer fields: a value the target type cannot hold is an error,
+// never a silent truncation.
+Result<uint64_t> ParseUintMax(const std::string& value, uint64_t max) {
+  PFS_ASSIGN_OR_RETURN(const uint64_t parsed, ParseUint(value));
+  if (parsed > max) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "\"" + value + "\" is out of range (max " + std::to_string(max) + ")");
+  }
+  return parsed;
+}
+
+Result<bool> ParseBool(const std::string& value) {
+  if (value == "true") {
+    return true;
+  }
+  if (value == "false") {
+    return false;
+  }
+  return Status(ErrorCode::kInvalidArgument,
+                "\"" + value + "\" is not a boolean (true or false)");
+}
+
+// "4, 3, 3" -> {4, 3, 3}; used for disk lists and member lists.
+Result<std::vector<int>> ParseIntList(const std::string& value) {
+  std::vector<int> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::string trimmed = Trim(item);
+    PFS_ASSIGN_OR_RETURN(const uint64_t n, ParseUint(trimmed));
+    if (n > INT32_MAX) {
+      return Status(ErrorCode::kInvalidArgument, "\"" + trimmed + "\" is out of range");
+    }
+    out.push_back(static_cast<int>(n));
+  }
+  if (out.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "\"" + value + "\" is not a comma-separated integer list");
+  }
+  return out;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes != 0 && bytes % kGiB == 0) {
+    return std::to_string(bytes / kGiB) + "GiB";
+  }
+  if (bytes != 0 && bytes % kMiB == 0) {
+    return std::to_string(bytes / kMiB) + "MiB";
+  }
+  if (bytes != 0 && bytes % kKiB == 0) {
+    return std::to_string(bytes / kKiB) + "KiB";
+  }
+  return std::to_string(bytes);
+}
+
+std::string JoinInts(const std::vector<int>& values) {
+  std::string out;
+  for (int v : values) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+// "volume3.members" -> {3, "members"}; nullopt when the key is not a
+// volume<i>.* key.
+struct VolumeKey {
+  size_t index;
+  std::string field;
+};
+
+std::optional<VolumeKey> ParseVolumeKey(const std::string& key) {
+  constexpr std::string_view kPrefix = "volume";
+  if (key.rfind(kPrefix, 0) != 0) {
+    return std::nullopt;
+  }
+  const size_t dot = key.find('.');
+  if (dot == std::string::npos || dot <= kPrefix.size()) {
+    return std::nullopt;
+  }
+  const std::string digits = key.substr(kPrefix.size(), dot - kPrefix.size());
+  // The digit-count bound keeps stoull from throwing out_of_range; an index
+  // this large is a typo, and the unknown-key error names the line.
+  if (digits.size() > 6 || digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return VolumeKey{static_cast<size_t>(std::stoull(digits)), key.substr(dot + 1)};
+}
+
+}  // namespace
+
+Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
+  SystemConfig config;
+  std::set<std::string> seen_keys;
+  std::map<size_t, VolumeSpec> volumes;
+  size_t max_volume_index = 0;
+  bool any_volume = false;
+
+  std::stringstream lines(text);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(lines, raw_line)) {
+    ++line_no;
+    const size_t comment = raw_line.find('#');
+    if (comment != std::string::npos) {
+      raw_line.resize(comment);
+    }
+    const std::string line = Trim(raw_line);
+    if (line.empty()) {
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return LineError(line_no, "expected \"key = value\", got \"" + line + "\"");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return LineError(line_no, "empty key");
+    }
+    if (!seen_keys.insert(key).second) {
+      return LineError(line_no, "duplicate key \"" + key + "\"");
+    }
+
+    // Wraps a field parser so every value error carries the line number.
+    auto fail = [&](const Status& status) { return LineError(line_no, status.message()); };
+
+    if (key == "backend") {
+      if (value == BackendKindName(BackendKind::kSimulated)) {
+        config.backend = BackendKind::kSimulated;
+      } else if (value == BackendKindName(BackendKind::kFileBacked)) {
+        config.backend = BackendKind::kFileBacked;
+      } else {
+        return LineError(line_no, "backend: unknown backend \"" + value +
+                                      "\" (expected simulated or file-backed)");
+      }
+    } else if (key == "clock") {
+      if (value == ClockKindName(ClockKind::kAuto)) {
+        config.clock = ClockKind::kAuto;
+      } else if (value == ClockKindName(ClockKind::kVirtual)) {
+        config.clock = ClockKind::kVirtual;
+      } else if (value == ClockKindName(ClockKind::kReal)) {
+        config.clock = ClockKind::kReal;
+      } else {
+        return LineError(line_no, "clock: unknown clock \"" + value +
+                                      "\" (expected auto, virtual, or real)");
+      }
+    } else if (key == "seed") {
+      auto parsed = ParseUint(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.seed = *parsed;
+    } else if (key == "mount_prefix") {
+      if (value.empty()) {
+        return LineError(line_no, "mount_prefix: must not be empty");
+      }
+      config.mount_prefix = value;
+    } else if (key == "topology.disks_per_bus") {
+      auto parsed = ParseIntList(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.disks_per_bus = *parsed;
+    } else if (key == "topology.num_filesystems") {
+      auto parsed = ParseUintMax(value, INT32_MAX);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.num_filesystems = static_cast<int>(*parsed);
+    } else if (key == "topology.disk_model") {
+      const auto* model = DiskModelRegistry::Find(value);
+      if (model == nullptr) {
+        return fail(DiskModelRegistry::UnknownNameError(key, value));
+      }
+      config.disk_params = (*model)();
+    } else if (key == "topology.queue_policy") {
+      if (!QueuePolicyRegistry::Contains(value)) {
+        return fail(QueuePolicyRegistry::UnknownNameError(key, value));
+      }
+      config.queue_policy = value;
+    } else if (key == "image.path") {
+      config.image_path = value;
+    } else if (key == "image.bytes") {
+      auto parsed = ParseBytes(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.image_bytes = *parsed;
+    } else if (key == "image.format") {
+      auto parsed = ParseBool(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.format = *parsed;
+    } else if (key == "image.io_threads") {
+      auto parsed = ParseUintMax(value, INT32_MAX);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.io_threads = static_cast<int>(*parsed);
+    } else if (key == "layout.name") {
+      if (!LayoutRegistry::Contains(value)) {
+        return fail(LayoutRegistry::UnknownNameError(key, value));
+      }
+      config.layout = value;
+    } else if (key == "layout.cleaner") {
+      if (!CleanerRegistry::Contains(value)) {
+        return fail(CleanerRegistry::UnknownNameError(key, value));
+      }
+      config.cleaner = value;
+    } else if (key == "layout.lfs_segment_blocks") {
+      auto parsed = ParseUintMax(value, UINT32_MAX);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.lfs_segment_blocks = static_cast<uint32_t>(*parsed);
+    } else if (key == "layout.max_inodes") {
+      auto parsed = ParseUintMax(value, UINT32_MAX);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.max_inodes = static_cast<uint32_t>(*parsed);
+    } else if (key == "cache.bytes") {
+      auto parsed = ParseBytes(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.cache_bytes = *parsed;
+    } else if (key == "cache.replacement") {
+      if (!ReplacementRegistry::Contains(value)) {
+        return fail(ReplacementRegistry::UnknownNameError(key, value));
+      }
+      config.replacement = value;
+    } else if (key == "cache.flush_policy") {
+      if (!FlushPolicyRegistry::Contains(value)) {
+        return fail(FlushPolicyRegistry::UnknownNameError(key, value));
+      }
+      config.flush_policy = value;
+    } else if (key == "cache.nvram_bytes") {
+      auto parsed = ParseBytes(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.nvram_bytes = *parsed;
+    } else if (key == "cache.async_flush") {
+      auto parsed = ParseBool(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.async_flush = *parsed;
+    } else if (key == "host.mem_bandwidth_bytes_per_sec") {
+      auto parsed = ParseBytes(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.host.mem_bandwidth_bytes_per_sec = *parsed;
+    } else if (key == "host.per_op_cpu_ns") {
+      auto parsed = ParseUint(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.host.per_op_cpu = Duration::Nanos(static_cast<int64_t>(*parsed));
+    } else if (auto vkey = ParseVolumeKey(key); vkey.has_value()) {
+      any_volume = true;
+      max_volume_index = std::max(max_volume_index, vkey->index);
+      VolumeSpec& spec = volumes[vkey->index];
+      if (vkey->field == "kind") {
+        if (!VolumeKindRegistry::Contains(value)) {
+          return fail(VolumeKindRegistry::UnknownNameError(key, value));
+        }
+        spec.kind = value;
+      } else if (vkey->field == "members") {
+        auto parsed = ParseIntList(value);
+        if (!parsed.ok()) {
+          return fail(parsed.status());
+        }
+        spec.members = *parsed;
+      } else if (vkey->field == "stripe_unit_kb") {
+        auto parsed = ParseUintMax(value, UINT32_MAX);
+        if (!parsed.ok()) {
+          return fail(parsed.status());
+        }
+        spec.stripe_unit_kb = static_cast<uint32_t>(*parsed);
+      } else if (vkey->field == "failed_members") {
+        auto parsed = ParseIntList(value);
+        if (!parsed.ok()) {
+          return fail(parsed.status());
+        }
+        spec.failed_members = *parsed;
+      } else {
+        return LineError(line_no, "unknown key \"" + key + "\" (volume keys: kind, "
+                                  "members, stripe_unit_kb, failed_members)");
+      }
+    } else {
+      return LineError(line_no, "unknown key \"" + key + "\"");
+    }
+  }
+
+  if (any_volume) {
+    for (size_t i = 0; i <= max_volume_index; ++i) {
+      if (volumes.find(i) == volumes.end()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "volume" + std::to_string(i) + ": missing (volume indices must be "
+                      "contiguous from 0)");
+      }
+    }
+    config.volumes.clear();
+    for (size_t i = 0; i <= max_volume_index; ++i) {
+      config.volumes.push_back(std::move(volumes[i]));
+    }
+  }
+  return config;
+}
+
+std::string SystemConfig::ToString() const {
+  std::ostringstream out;
+  out << "# pfs scenario (SystemConfig::ToString)\n";
+  out << "backend = " << BackendKindName(backend) << "\n";
+  out << "clock = " << ClockKindName(clock) << "\n";
+  out << "seed = " << seed << "\n";
+  out << "mount_prefix = " << mount_prefix << "\n";
+  out << "\n# topology\n";
+  out << "topology.disks_per_bus = " << JoinInts(disks_per_bus) << "\n";
+  out << "topology.num_filesystems = " << num_filesystems << "\n";
+  out << "topology.disk_model = " << disk_params.model_name << "\n";
+  out << "topology.queue_policy = " << queue_policy << "\n";
+  if (!volumes.empty()) {
+    out << "\n# per-file-system volumes\n";
+    for (size_t i = 0; i < volumes.size(); ++i) {
+      const VolumeSpec& spec = volumes[i];
+      const std::string prefix = "volume" + std::to_string(i);
+      out << prefix << ".kind = " << spec.kind << "\n";
+      out << prefix << ".members = " << JoinInts(spec.members) << "\n";
+      out << prefix << ".stripe_unit_kb = " << spec.stripe_unit_kb << "\n";
+      if (!spec.failed_members.empty()) {
+        out << prefix << ".failed_members = " << JoinInts(spec.failed_members) << "\n";
+      }
+    }
+  }
+  out << "\n# file-backed backend\n";
+  out << "image.path = " << image_path << "\n";
+  out << "image.bytes = " << FormatBytes(image_bytes) << "\n";
+  out << "image.format = " << (format ? "true" : "false") << "\n";
+  out << "image.io_threads = " << io_threads << "\n";
+  out << "\n# storage layout\n";
+  out << "layout.name = " << layout << "\n";
+  out << "layout.cleaner = " << cleaner << "\n";
+  out << "layout.lfs_segment_blocks = " << lfs_segment_blocks << "\n";
+  out << "layout.max_inodes = " << max_inodes << "\n";
+  out << "\n# cache\n";
+  out << "cache.bytes = " << FormatBytes(cache_bytes) << "\n";
+  out << "cache.replacement = " << replacement << "\n";
+  out << "cache.flush_policy = " << flush_policy << "\n";
+  out << "cache.nvram_bytes = " << FormatBytes(nvram_bytes) << "\n";
+  out << "cache.async_flush = " << (async_flush ? "true" : "false") << "\n";
+  out << "\n# simulated host model\n";
+  out << "host.mem_bandwidth_bytes_per_sec = " << host.mem_bandwidth_bytes_per_sec << "\n";
+  out << "host.per_op_cpu_ns = " << host.per_op_cpu.nanos() << "\n";
+  return out.str();
+}
+
+Result<ScenarioArgs> ParseScenarioArgs(int argc, char** argv) {
+  ScenarioArgs out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--config") {
+      if (i + 1 >= argc) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "--config: missing scenario file argument");
+      }
+      PFS_ASSIGN_OR_RETURN(SystemConfig config, LoadScenarioFile(argv[++i]));
+      out.scenario = std::move(config);
+    } else {
+      out.positional.emplace_back(argv[i]);
+    }
+  }
+  return out;
+}
+
+Result<SystemConfig> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(ErrorCode::kNotFound, path + ": cannot open scenario file");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = SystemConfig::Parse(buffer.str());
+  if (!parsed.ok()) {
+    return Status(parsed.code(), path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace pfs

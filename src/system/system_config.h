@@ -9,10 +9,12 @@
 #define PFS_SYSTEM_SYSTEM_CONFIG_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cache/data_mover.h"
+#include "core/result.h"
 #include "core/units.h"
 #include "disk/disk_model.h"
 
@@ -39,9 +41,12 @@ const char* ClockKindName(ClockKind k);
 // the same numbering as System::drivers()). A disk referenced by several
 // volumes is partitioned evenly among them.
 struct VolumeSpec {
-  std::string kind = "single";  // single | concat | striped | mirror
+  std::string kind = "single";  // a registered volume kind (VolumeKindRegistry)
   std::vector<int> members;     // disk indices; "single" takes exactly one
   uint32_t stripe_unit_kb = 64;  // striped only: stripe unit size
+  // Mirror only: member positions (0-based within `members`) failed out at
+  // setup, so the volume starts degraded — the "mirrored-degraded" scenario.
+  std::vector<int> failed_members;
 };
 
 struct SystemConfig {
@@ -102,7 +107,33 @@ struct SystemConfig {
   // On-line server defaults: one file-backed disk, one LFS file system, a
   // small cache, real clock.
   static SystemConfig OnlineDefaults();
+
+  // -- the textual scenario API --------------------------------------------
+  // A scenario is a flat "key = value" text (one key per line, `#` comments,
+  // dotted section prefixes: topology.*, volume<i>.*, image.*, layout.*,
+  // cache.*, host.*). Parse rejects unknown keys, unknown component names
+  // (enumerating the registered alternatives), malformed values, and
+  // duplicate keys — each with the offending line number in the Status.
+  // Every field ToString() emits round-trips: Parse(c.ToString()) rebuilds a
+  // config equal to `c`. DiskParams round-trip by registered model name
+  // (topology.disk_model); hand-mutated parameter structs do not serialize.
+  static Result<SystemConfig> Parse(const std::string& text);
+  std::string ToString() const;
 };
+
+// Reads and parses one scenario file; errors are prefixed with the path.
+Result<SystemConfig> LoadScenarioFile(const std::string& path);
+
+// The shared "--config <file>" command-line convention of the benches and
+// examples: `scenario` is the loaded file when the flag was given, and
+// `positional` collects every other argument in order. A --config with no
+// value, or an unloadable file, is an error — a tool silently falling back
+// to its default config would report the wrong system's results.
+struct ScenarioArgs {
+  std::optional<SystemConfig> scenario;
+  std::vector<std::string> positional;
+};
+Result<ScenarioArgs> ParseScenarioArgs(int argc, char** argv);
 
 }  // namespace pfs
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "system/component_registry.h"
+
 namespace pfs {
 namespace {
 
@@ -479,6 +481,160 @@ std::string MirrorVolume::StatJson() const {
                 live_member_count(), static_cast<unsigned long long>(missed_writes_.value()),
                 static_cast<unsigned long long>(degraded_reads_.value()));
   return out + buf;
+}
+
+namespace {
+
+// Wraps each slice in a per-member partition volume ("<name>.m<j>"), keeping
+// the wrappers alive in `parts` and returning the raw member devices a
+// composite volume composes.
+std::vector<BlockDevice*> WrapSlices(Scheduler* sched, const std::string& name,
+                                     const std::vector<VolumeSliceRef>& slices,
+                                     std::vector<std::unique_ptr<Volume>>* parts) {
+  std::vector<BlockDevice*> members;
+  for (size_t j = 0; j < slices.size(); ++j) {
+    auto part = std::make_unique<SingleDiskVolume>(sched, name + ".m" + std::to_string(j),
+                                                   slices[j].backing, slices[j].start_sector,
+                                                   slices[j].nsectors);
+    members.push_back(part.get());
+    parts->push_back(std::move(part));
+  }
+  return members;
+}
+
+std::vector<uint64_t> SliceSectors(const std::vector<VolumeSliceRef>& slices) {
+  std::vector<uint64_t> sectors;
+  for (const VolumeSliceRef& s : slices) {
+    sectors.push_back(s.nsectors);
+  }
+  return sectors;
+}
+
+uint32_t StripeUnitSectors(const VolumeSpec& spec, uint32_t sector_bytes) {
+  return static_cast<uint32_t>(spec.stripe_unit_kb * kKiB / sector_bytes);
+}
+
+}  // namespace
+
+void RegisterBuiltinVolumeKinds() {
+  {
+    VolumeKindFamily::Value single;
+    single.min_members = 1;
+    single.max_members = 1;
+    single.capacity_sectors = [](const std::vector<uint64_t>& member_sectors,
+                                 const VolumeSpec&, uint32_t,
+                                 const std::string&) -> Result<uint64_t> {
+      return member_sectors[0];
+    };
+    single.assemble = [](Scheduler* sched, const std::string& name,
+                         const std::vector<VolumeSliceRef>& slices, const VolumeSpec&,
+                         uint32_t, std::vector<std::unique_ptr<Volume>>*) {
+      return std::unique_ptr<Volume>(std::make_unique<SingleDiskVolume>(
+          sched, name, slices[0].backing, slices[0].start_sector, slices[0].nsectors));
+    };
+    VolumeKindRegistry::Register("single", std::move(single));
+  }
+  {
+    VolumeKindFamily::Value concat;
+    concat.capacity_sectors = [](const std::vector<uint64_t>& member_sectors,
+                                 const VolumeSpec&, uint32_t,
+                                 const std::string&) -> Result<uint64_t> {
+      return ConcatVolume::CapacitySectors(member_sectors);
+    };
+    concat.assemble = [](Scheduler* sched, const std::string& name,
+                         const std::vector<VolumeSliceRef>& slices, const VolumeSpec&,
+                         uint32_t, std::vector<std::unique_ptr<Volume>>* parts) {
+      return std::unique_ptr<Volume>(std::make_unique<ConcatVolume>(
+          sched, name, WrapSlices(sched, name, slices, parts)));
+    };
+    VolumeKindRegistry::Register("concat", std::move(concat));
+  }
+  {
+    VolumeKindFamily::Value striped;
+    striped.min_members = 2;
+    striped.validate = [](const VolumeSpec& spec, uint32_t sector_bytes,
+                          const std::string& field) {
+      if (spec.stripe_unit_kb == 0) {
+        return Status(ErrorCode::kInvalidArgument,
+                      field + ".stripe_unit_kb: stripe unit must be positive");
+      }
+      // Units must be whole sectors, or the unit arithmetic truncates (and a
+      // unit smaller than one sector would divide by zero).
+      if (spec.stripe_unit_kb * kKiB % sector_bytes != 0) {
+        return Status(ErrorCode::kInvalidArgument,
+                      field + ".stripe_unit_kb: " + std::to_string(spec.stripe_unit_kb) +
+                          " KiB is not a multiple of the " + std::to_string(sector_bytes) +
+                          "-byte sector");
+      }
+      return OkStatus();
+    };
+    striped.capacity_sectors = [](const std::vector<uint64_t>& member_sectors,
+                                  const VolumeSpec& spec, uint32_t sector_bytes,
+                                  const std::string& field) -> Result<uint64_t> {
+      const uint64_t capacity = StripedVolume::CapacitySectors(
+          member_sectors, StripeUnitSectors(spec, sector_bytes));
+      if (capacity == 0) {
+        return Status(ErrorCode::kInvalidArgument,
+                      field +
+                          ".stripe_unit_kb: one stripe unit exceeds the smallest member "
+                          "slice");
+      }
+      return capacity;
+    };
+    striped.assemble = [](Scheduler* sched, const std::string& name,
+                          const std::vector<VolumeSliceRef>& slices, const VolumeSpec& spec,
+                          uint32_t sector_bytes, std::vector<std::unique_ptr<Volume>>* parts) {
+      return std::unique_ptr<Volume>(std::make_unique<StripedVolume>(
+          sched, name, WrapSlices(sched, name, slices, parts),
+          StripeUnitSectors(spec, sector_bytes)));
+    };
+    VolumeKindRegistry::Register("striped", std::move(striped));
+  }
+  {
+    VolumeKindFamily::Value mirror;
+    mirror.min_members = 2;
+    mirror.allows_degraded_start = true;
+    mirror.validate = [](const VolumeSpec& spec, uint32_t, const std::string& field) {
+      for (size_t i = 0; i < spec.failed_members.size(); ++i) {
+        const int m = spec.failed_members[i];
+        if (m < 0 || static_cast<size_t>(m) >= spec.members.size()) {
+          return Status(ErrorCode::kInvalidArgument,
+                        field + ".failed_members: position " + std::to_string(m) +
+                            " outside the volume's " + std::to_string(spec.members.size()) +
+                            " member(s)");
+        }
+        for (size_t prev = 0; prev < i; ++prev) {
+          if (spec.failed_members[prev] == m) {
+            return Status(ErrorCode::kInvalidArgument,
+                          field + ".failed_members: position " + std::to_string(m) +
+                              " listed twice");
+          }
+        }
+      }
+      if (spec.failed_members.size() >= spec.members.size()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      field + ".failed_members: at least one member must stay live");
+      }
+      return OkStatus();
+    };
+    mirror.capacity_sectors = [](const std::vector<uint64_t>& member_sectors,
+                                 const VolumeSpec&, uint32_t,
+                                 const std::string&) -> Result<uint64_t> {
+      return MirrorVolume::CapacitySectors(member_sectors);
+    };
+    mirror.assemble = [](Scheduler* sched, const std::string& name,
+                         const std::vector<VolumeSliceRef>& slices, const VolumeSpec& spec,
+                         uint32_t, std::vector<std::unique_ptr<Volume>>* parts) {
+      auto volume = std::make_unique<MirrorVolume>(
+          sched, name, WrapSlices(sched, name, slices, parts));
+      for (int m : spec.failed_members) {
+        // Failing a member out (no rebuild debt yet) always succeeds.
+        PFS_CHECK(volume->SetMemberFailed(static_cast<size_t>(m), true).ok());
+      }
+      return std::unique_ptr<Volume>(std::move(volume));
+    };
+    VolumeKindRegistry::Register("mirror", std::move(mirror));
+  }
 }
 
 }  // namespace pfs

@@ -1,0 +1,463 @@
+// Tests for the textual scenario API (SystemConfig::Parse / ToString) and
+// the component registry: every field round-trips, unknown keys and names
+// are rejected with line numbers and the registered alternatives, the
+// shipped scenario files stay buildable on both backends, and the registry
+// accepts run-time extensions without touching the assembly layer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "system/component_registry.h"
+#include "system/system_builder.h"
+
+namespace pfs {
+namespace {
+
+TEST(ConfigRoundTripTest, AllspiceSim) {
+  const SystemConfig config = SystemConfig::AllspiceSim();
+  auto reparsed = SystemConfig::Parse(config.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(config.ToString(), reparsed->ToString());
+  EXPECT_TRUE(SystemBuilder::Validate(*reparsed).ok());
+}
+
+TEST(ConfigRoundTripTest, OnlineDefaults) {
+  SystemConfig config = SystemConfig::OnlineDefaults();
+  config.image_path = "/tmp/pfs_config_test.img";
+  auto reparsed = SystemConfig::Parse(config.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(config.ToString(), reparsed->ToString());
+  EXPECT_EQ(reparsed->backend, BackendKind::kFileBacked);
+  EXPECT_EQ(reparsed->image_path, config.image_path);
+  EXPECT_TRUE(SystemBuilder::Validate(*reparsed).ok());
+}
+
+TEST(ConfigRoundTripTest, EveryFieldSurvives) {
+  SystemConfig config;
+  config.backend = BackendKind::kFileBacked;
+  config.clock = ClockKind::kVirtual;
+  config.seed = 1234567;
+  config.disks_per_bus = {2, 1, 5};
+  config.num_filesystems = 3;
+  config.disk_params = DiskParams::SyntheticTest();
+  config.queue_policy = "SSTF";
+  VolumeSpec mirror;
+  mirror.kind = "mirror";
+  mirror.members = {0, 3};
+  mirror.failed_members = {1};
+  VolumeSpec striped;
+  striped.kind = "striped";
+  striped.members = {1, 2, 4};
+  striped.stripe_unit_kb = 128;
+  VolumeSpec single;
+  single.members = {5};
+  config.volumes = {mirror, striped, single};
+  config.image_path = "/tmp/pfs images/with spaces.img";
+  config.image_bytes = 24 * kMiB + 512;
+  config.format = false;
+  config.io_threads = 7;
+  config.layout = "ffs";
+  config.cleaner = "cost-benefit";
+  config.lfs_segment_blocks = 64;
+  config.max_inodes = 1024;
+  config.cache_bytes = 3 * kMiB + kKiB;
+  config.replacement = "LRU-2";
+  config.flush_policy = "nvram-partial";
+  config.nvram_bytes = 768 * kKiB;
+  config.async_flush = false;
+  config.host.mem_bandwidth_bytes_per_sec = 123456789;
+  config.host.per_op_cpu = Duration::Nanos(98765);
+  config.mount_prefix = "vol";
+
+  auto reparsed = SystemConfig::Parse(config.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(config.ToString(), reparsed->ToString());
+  EXPECT_EQ(reparsed->disk_params.model_name, "SyntheticTest");
+  EXPECT_EQ(reparsed->volumes.size(), 3u);
+  EXPECT_EQ(reparsed->volumes[0].failed_members, std::vector<int>{1});
+  EXPECT_EQ(reparsed->volumes[1].stripe_unit_kb, 128u);
+  EXPECT_EQ(reparsed->host.per_op_cpu.nanos(), 98765);
+  EXPECT_EQ(reparsed->image_path, config.image_path);
+}
+
+// Randomized configs: Parse(ToString(c)) must reproduce the serialization
+// and the validation verdict, whether or not the config is actually
+// buildable.
+TEST(ConfigRoundTripTest, RandomizedConfigs) {
+  Rng rng(20260730);
+  const std::vector<std::string> layouts = LayoutRegistry::Names();
+  const std::vector<std::string> cleaners = CleanerRegistry::Names();
+  const std::vector<std::string> replacements = ReplacementRegistry::Names();
+  const std::vector<std::string> flushes = FlushPolicyRegistry::Names();
+  const std::vector<std::string> queues = QueuePolicyRegistry::Names();
+  auto pick = [&](const std::vector<std::string>& names) {
+    return names[rng.NextBelow(names.size())];
+  };
+  for (int round = 0; round < 24; ++round) {
+    SystemConfig config;
+    config.backend = rng.NextBelow(2) == 0 ? BackendKind::kSimulated
+                                           : BackendKind::kFileBacked;
+    config.clock = static_cast<ClockKind>(rng.NextBelow(3));
+    config.seed = rng.NextBelow(1 << 20);
+    config.disks_per_bus.clear();
+    const int busses = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int b = 0; b < busses; ++b) {
+      config.disks_per_bus.push_back(1 + static_cast<int>(rng.NextBelow(4)));
+    }
+    config.num_filesystems = 1 + static_cast<int>(rng.NextBelow(4));
+    config.queue_policy = pick(queues);
+    config.layout = pick(layouts);
+    config.cleaner = pick(cleaners);
+    config.replacement = pick(replacements);
+    config.flush_policy = pick(flushes);
+    config.lfs_segment_blocks = 8 << rng.NextBelow(5);
+    config.max_inodes = 512 << rng.NextBelow(4);
+    config.cache_bytes = (1 + rng.NextBelow(64)) * kMiB;
+    config.nvram_bytes = (1 + rng.NextBelow(8)) * kMiB;
+    config.async_flush = rng.NextBelow(2) == 0;
+    config.image_path = "/tmp/pfs_random_" + std::to_string(round) + ".img";
+    config.image_bytes = (8 + rng.NextBelow(64)) * kMiB;
+    config.io_threads = 1 + static_cast<int>(rng.NextBelow(4));
+    if (rng.NextBelow(2) == 0) {
+      int total_disks = 0;
+      for (int n : config.disks_per_bus) {
+        total_disks += n;
+      }
+      config.volumes.clear();
+      for (int f = 0; f < config.num_filesystems; ++f) {
+        VolumeSpec spec;
+        const uint64_t kind = rng.NextBelow(4);
+        const int want =
+            kind == 0 ? 1 : 2 + static_cast<int>(rng.NextBelow(2));
+        for (int m = 0; m < want; ++m) {
+          spec.members.push_back(static_cast<int>(rng.NextBelow(
+              static_cast<uint64_t>(total_disks))));
+        }
+        spec.kind = kind == 0   ? "single"
+                    : kind == 1 ? "concat"
+                    : kind == 2 ? "striped"
+                                : "mirror";
+        config.volumes.push_back(std::move(spec));
+      }
+    }
+
+    const std::string text = config.ToString();
+    auto reparsed = SystemConfig::Parse(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(text, reparsed->ToString()) << "round " << round;
+    const Status original_verdict = SystemBuilder::Validate(config);
+    const Status reparsed_verdict = SystemBuilder::Validate(*reparsed);
+    EXPECT_EQ(original_verdict.code(), reparsed_verdict.code())
+        << "round " << round << ": " << original_verdict.ToString() << " vs "
+        << reparsed_verdict.ToString() << "\n" << text;
+  }
+}
+
+TEST(ConfigParseTest, RejectsUnknownKeyWithLineNumber) {
+  auto result = SystemConfig::Parse("seed = 1\nnot_a_key = 2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("not_a_key"), std::string::npos);
+}
+
+TEST(ConfigParseTest, RejectsUnknownComponentNamesListingAlternatives) {
+  auto layout = SystemConfig::Parse("layout.name = zfs\n");
+  ASSERT_FALSE(layout.ok());
+  for (const char* registered : {"lfs", "ffs", "guessing"}) {
+    EXPECT_NE(layout.status().message().find(registered), std::string::npos)
+        << layout.status().ToString();
+  }
+  EXPECT_NE(layout.status().message().find("line 1"), std::string::npos);
+
+  auto kind = SystemConfig::Parse("volume0.kind = raid6\nvolume0.members = 0, 1\n");
+  ASSERT_FALSE(kind.ok());
+  for (const char* registered : {"single", "concat", "striped", "mirror"}) {
+    EXPECT_NE(kind.status().message().find(registered), std::string::npos)
+        << kind.status().ToString();
+  }
+
+  auto queue = SystemConfig::Parse("topology.queue_policy = ELEVATOR\n");
+  ASSERT_FALSE(queue.ok());
+  EXPECT_NE(queue.status().message().find("C-LOOK"), std::string::npos);
+
+  auto model = SystemConfig::Parse("topology.disk_model = IBM350\n");
+  ASSERT_FALSE(model.ok());
+  EXPECT_NE(model.status().message().find("HP97560"), std::string::npos);
+}
+
+TEST(ConfigParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(SystemConfig::Parse("this line has no equals sign\n").ok());
+  EXPECT_FALSE(SystemConfig::Parse("seed = twelve\n").ok());
+  EXPECT_FALSE(SystemConfig::Parse("cache.bytes = 48Mib\n").ok());  // bad suffix
+  EXPECT_FALSE(SystemConfig::Parse("cache.async_flush = yes\n").ok());
+  EXPECT_FALSE(SystemConfig::Parse("seed = 1\nseed = 2\n").ok());  // duplicate
+  EXPECT_FALSE(SystemConfig::Parse("mount_prefix =\n").ok());
+  // volume indices must be contiguous from 0.
+  auto gap = SystemConfig::Parse("volume1.kind = mirror\nvolume1.members = 0, 1\n");
+  ASSERT_FALSE(gap.ok());
+  EXPECT_NE(gap.status().message().find("volume0"), std::string::npos);
+  // An absurd volume index is rejected as an unknown key, not a crash.
+  EXPECT_FALSE(SystemConfig::Parse("volume99999999999999999999.kind = mirror\n").ok());
+}
+
+TEST(ConfigParseTest, RejectsOutOfRangeIntegers) {
+  // Values the target field cannot hold must be errors, never silent
+  // truncations (4294967297 would wrap num_filesystems to 1).
+  EXPECT_FALSE(SystemConfig::Parse("topology.num_filesystems = 4294967297\n").ok());
+  EXPECT_FALSE(SystemConfig::Parse("image.io_threads = 99999999999\n").ok());
+  EXPECT_FALSE(SystemConfig::Parse("layout.max_inodes = 4294967296\n").ok());
+  EXPECT_FALSE(SystemConfig::Parse("volume0.kind = striped\nvolume0.members = 0, 1\n"
+                                   "volume0.stripe_unit_kb = 4294967296\n")
+                   .ok());
+}
+
+TEST(ConfigParseTest, ScenarioArgsFlagHandling) {
+  const char* trailing[] = {"bench", "--config"};
+  auto missing_value = ParseScenarioArgs(2, const_cast<char**>(trailing));
+  ASSERT_FALSE(missing_value.ok());
+  EXPECT_NE(missing_value.status().message().find("--config"), std::string::npos);
+
+  const char* none[] = {"bench", "1a", "0.5", "--json"};
+  auto no_flag = ParseScenarioArgs(4, const_cast<char**>(none));
+  ASSERT_TRUE(no_flag.ok());
+  EXPECT_FALSE(no_flag->scenario.has_value());
+  EXPECT_EQ(no_flag->positional,
+            (std::vector<std::string>{"1a", "0.5", "--json"}));
+}
+
+TEST(ConfigParseTest, AcceptsCommentsWhitespaceAndSuffixes) {
+  auto result = SystemConfig::Parse(
+      "# a comment line\n"
+      "\n"
+      "  seed   =  7   # trailing comment\n"
+      "cache.bytes = 2GiB\n"
+      "cache.nvram_bytes = 512KiB\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->seed, 7u);
+  EXPECT_EQ(result->cache_bytes, 2 * kGiB);
+  EXPECT_EQ(result->nvram_bytes, 512 * kKiB);
+}
+
+TEST(ConfigParseTest, LoadScenarioFileReportsPath) {
+  auto missing = LoadScenarioFile("/tmp/does_not_exist.pfs_scenario");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), ErrorCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("/tmp/does_not_exist"), std::string::npos);
+}
+
+// Every unknown-name Status from Validate enumerates the registered
+// alternatives, family by family.
+TEST(ValidateErrorMessageTest, UnknownNamesListRegisteredAlternatives) {
+  struct Case {
+    const char* field;
+    void (*mutate)(SystemConfig&);
+    std::vector<std::string> expect_names;
+  };
+  const std::vector<Case> cases = {
+      {"layout", [](SystemConfig& c) { c.layout = "nope"; }, LayoutRegistry::Names()},
+      {"cleaner", [](SystemConfig& c) { c.cleaner = "nope"; }, CleanerRegistry::Names()},
+      {"replacement", [](SystemConfig& c) { c.replacement = "nope"; },
+       ReplacementRegistry::Names()},
+      {"flush_policy", [](SystemConfig& c) { c.flush_policy = "nope"; },
+       FlushPolicyRegistry::Names()},
+      {"queue_policy", [](SystemConfig& c) { c.queue_policy = "nope"; },
+       QueuePolicyRegistry::Names()},
+      {"kind",
+       [](SystemConfig& c) {
+         c.disks_per_bus = {2};
+         c.num_filesystems = 1;
+         VolumeSpec spec;
+         spec.kind = "nope";
+         spec.members = {0};
+         c.volumes = {spec};
+       },
+       VolumeKindRegistry::Names()},
+  };
+  for (const Case& test_case : cases) {
+    SystemConfig config;
+    test_case.mutate(config);
+    const Status status = SystemBuilder::Validate(config);
+    ASSERT_EQ(status.code(), ErrorCode::kInvalidArgument) << test_case.field;
+    EXPECT_NE(status.message().find(test_case.field), std::string::npos)
+        << status.ToString();
+    for (const std::string& name : test_case.expect_names) {
+      EXPECT_NE(status.message().find(name), std::string::npos)
+          << test_case.field << ": " << status.ToString();
+    }
+  }
+}
+
+TEST(ValidateVolumeSpecTest, RejectsMirrorsAndStripesWithOneMember) {
+  for (const char* kind : {"mirror", "striped"}) {
+    SystemConfig config;
+    config.disks_per_bus = {2};
+    config.num_filesystems = 1;
+    VolumeSpec spec;
+    spec.kind = kind;
+    spec.members = {0};
+    config.volumes = {spec};
+    const Status status = SystemBuilder::Validate(config);
+    EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument) << kind;
+    EXPECT_NE(status.ToString().find("at least 2"), std::string::npos)
+        << kind << ": " << status.ToString();
+  }
+}
+
+TEST(ValidateVolumeSpecTest, RejectsBadFailedMembers) {
+  SystemConfig base;
+  base.disks_per_bus = {2};
+  base.num_filesystems = 1;
+  VolumeSpec mirror;
+  mirror.kind = "mirror";
+  mirror.members = {0, 1};
+
+  // Position outside the member list.
+  SystemConfig config = base;
+  VolumeSpec spec = mirror;
+  spec.failed_members = {2};
+  config.volumes = {spec};
+  EXPECT_EQ(SystemBuilder::Validate(config).code(), ErrorCode::kInvalidArgument);
+
+  // Every member failed: no live member left to serve reads.
+  config = base;
+  spec = mirror;
+  spec.failed_members = {0, 1};
+  config.volumes = {spec};
+  Status status = SystemBuilder::Validate(config);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("live"), std::string::npos);
+
+  // Degraded start is a mirror-only concept.
+  config = base;
+  spec = VolumeSpec{};
+  spec.kind = "striped";
+  spec.members = {0, 1};
+  spec.failed_members = {0};
+  config.volumes = {spec};
+  status = SystemBuilder::Validate(config);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("failed_members"), std::string::npos);
+}
+
+TEST(ValidateVolumeSpecTest, AcceptsDegradedMirror) {
+  SystemConfig config;
+  config.disks_per_bus = {2};
+  config.num_filesystems = 1;
+  VolumeSpec spec;
+  spec.kind = "mirror";
+  spec.members = {0, 1};
+  spec.failed_members = {1};
+  config.volumes = {spec};
+  EXPECT_TRUE(SystemBuilder::Validate(config).ok())
+      << SystemBuilder::Validate(config).ToString();
+}
+
+// The extension recipe from the registry header, end to end: register a new
+// layout name at run time and build a system with it — no assembly-layer
+// changes involved.
+TEST(ComponentRegistryTest, RuntimeLayoutRegistrationBuilds) {
+  ASSERT_NE(LayoutRegistry::Find("lfs"), nullptr);
+  LayoutRegistry::Register("lfs-alias", *LayoutRegistry::Find("lfs"));
+
+  SystemConfig config;
+  config.disks_per_bus = {2};
+  config.num_filesystems = 1;
+  config.layout = "lfs-alias";
+  ASSERT_TRUE(SystemBuilder::Validate(config).ok())
+      << SystemBuilder::Validate(config).ToString();
+  auto system = SystemBuilder::Build(config);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  EXPECT_TRUE((*system)->Setup().ok());
+  EXPECT_EQ(std::string((*system)->layout(0)->layout_name()), "lfs");
+
+  // The new name shows up in unknown-name errors too.
+  config.layout = "nope";
+  EXPECT_NE(SystemBuilder::Validate(config).message().find("lfs-alias"),
+            std::string::npos);
+}
+
+#ifdef PFS_SCENARIO_DIR
+std::vector<std::filesystem::path> ScenarioFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(PFS_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".scenario") {
+      files.push_back(entry.path());
+    }
+  }
+  return files;
+}
+
+// Every shipped scenario parses, validates, round-trips, and validates with
+// the backend flipped (the cut-and-paste property for text files).
+TEST(ScenarioFilesTest, ParseValidateRoundTripBothBackends) {
+  const auto files = ScenarioFiles();
+  ASSERT_GE(files.size(), 4u) << "expected the four shipped scenarios in "
+                              << PFS_SCENARIO_DIR;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.string());
+    auto loaded = LoadScenarioFile(path.string());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(SystemBuilder::Validate(*loaded).ok())
+        << SystemBuilder::Validate(*loaded).ToString();
+
+    auto reparsed = SystemConfig::Parse(loaded->ToString());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(loaded->ToString(), reparsed->ToString());
+
+    SystemConfig flipped = *loaded;
+    flipped.backend = flipped.simulated() ? BackendKind::kFileBacked
+                                          : BackendKind::kSimulated;
+    if (!flipped.simulated() && flipped.image_path.empty()) {
+      flipped.image_path = "/tmp/pfs_scenario_flip.img";
+    }
+    EXPECT_TRUE(SystemBuilder::Validate(flipped).ok())
+        << SystemBuilder::Validate(flipped).ToString();
+  }
+}
+
+// One scenario built on both backends produces the same logical topology:
+// volume kinds, stat names, and mounts are backend-independent.
+TEST(ScenarioFilesTest, SameTopologyOnBothBackends) {
+  const std::filesystem::path path =
+      std::filesystem::path(PFS_SCENARIO_DIR) / "striped-8-disk.scenario";
+  auto loaded = LoadScenarioFile(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  SystemConfig sim = *loaded;
+  sim.backend = BackendKind::kSimulated;
+  SystemConfig real = *loaded;
+  real.backend = BackendKind::kFileBacked;
+  real.image_path = "/tmp/pfs_scenario_topology.img";
+  real.image_bytes = 16 * kMiB;
+
+  auto sim_system = SystemBuilder::Build(sim);
+  ASSERT_TRUE(sim_system.ok()) << sim_system.status().ToString();
+  auto real_system = SystemBuilder::Build(real);
+  ASSERT_TRUE(real_system.ok()) << real_system.status().ToString();
+
+  ASSERT_EQ((*sim_system)->filesystem_count(), (*real_system)->filesystem_count());
+  EXPECT_EQ((*sim_system)->drivers().size(), (*real_system)->drivers().size());
+  for (int f = 0; f < (*sim_system)->filesystem_count(); ++f) {
+    EXPECT_EQ((*sim_system)->volume(f)->stat_name(),
+              (*real_system)->volume(f)->stat_name());
+    EXPECT_EQ(std::string((*sim_system)->volume(f)->kind()),
+              std::string((*real_system)->volume(f)->kind()));
+    EXPECT_EQ((*sim_system)->volume(f)->member_count(),
+              (*real_system)->volume(f)->member_count());
+    EXPECT_EQ((*sim_system)->mount_name(f), (*real_system)->mount_name(f));
+  }
+  for (int i = 0; i < 8; ++i) {
+    std::remove(("/tmp/pfs_scenario_topology.img" +
+                 (i == 0 ? std::string() : "." + std::to_string(i)))
+                    .c_str());
+  }
+}
+#endif  // PFS_SCENARIO_DIR
+
+}  // namespace
+}  // namespace pfs
