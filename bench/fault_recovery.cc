@@ -1,0 +1,149 @@
+// Fault-injection and recovery: one file system on a two-way simulated
+// mirror, a scheduled member failure at t=200ms and return at t=2200ms, a
+// synced write workload that accrues rebuild debt across the degraded
+// window, and a sweep of the RebuildDaemon's bandwidth cap. Rebuild time
+// falls as the cap rises (debt is fixed by the workload, which is identical
+// up to the return instant in every run), while the uncapped run shows the
+// floor set by pure disk contention. With --json, one line per cap goes to
+// BENCH_fault_recovery.json, including the mirror's and the daemon's own
+// StatJson.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "client/client_interface.h"
+#include "system/system_builder.h"
+
+using namespace pfs;
+
+namespace {
+
+struct RecoveryResult {
+  uint64_t peak_debt_bytes = 0;  // largest outstanding debt seen in the run
+  uint64_t rebuilt_bytes = 0;    // total background copy traffic
+  double degraded_ms = 0;
+  double rebuild_ms = 0;        // return applied -> rebuild drained
+  std::string mirror_json;
+  std::string rebuild_json;
+};
+
+SystemConfig RecoveryScenario(uint32_t bw_kbps) {
+  SystemConfig config;
+  config.backend = BackendKind::kSimulated;
+  config.seed = 7;
+  config.disks_per_bus = {2};
+  config.num_filesystems = 1;
+  config.cache_bytes = 8 * kMiB;
+  config.lfs_segment_blocks = 64;
+  config.max_inodes = 2048;
+  VolumeSpec mirror;
+  mirror.kind = "mirror";
+  mirror.members = {0, 1};
+  config.volumes = {mirror};
+  config.rebuild_bw_kbps = bw_kbps;
+  config.faults = {FaultSpec{200, 0, 1, "fail"}, FaultSpec{2200, 0, 1, "return"}};
+  return config;
+}
+
+// Writes (synced, so they reach the volume inside the degraded window)
+// until the schedule has fired, then waits for the rebuild to drain.
+Task<> Drive(System* sys, RecoveryResult* out, Status* status) {
+  LocalClient* client = sys->client();
+  auto* mirror = dynamic_cast<MirrorVolume*>(sys->volume(0));
+  OpenOptions create;
+  create.create = true;
+  for (int i = 0; !sys->fault_injector()->done(); ++i) {
+    // Sampled before the op, so no sample can postdate the return event:
+    // the peak is the degraded-window debt, identical across caps (the
+    // workload only diverges once the cap-dependent drain starts).
+    out->peak_debt_bytes = std::max(out->peak_debt_bytes, mirror->rebuild_debt_bytes());
+    auto fd = co_await client->Open("/" + sys->mount_name(0) + "/f" +
+                                        std::to_string(i % 32), create);
+    if (!fd.ok()) {
+      *status = fd.status();
+      co_return;
+    }
+    auto wrote = co_await client->Write(*fd, static_cast<uint64_t>(i % 16) * 4096, 4096, {});
+    if (!wrote.ok()) {
+      *status = wrote.status();
+      co_return;
+    }
+    if (Status s = co_await client->Close(*fd); !s.ok()) {
+      *status = s;
+      co_return;
+    }
+    if (i % 8 == 7) {
+      if (Status s = co_await client->SyncAll(); !s.ok()) {
+        *status = s;
+        co_return;
+      }
+    }
+  }
+  const TimePoint returned = sys->scheduler()->Now();
+  while (!sys->fault_quiescent()) {
+    co_await sys->scheduler()->Sleep(Duration::Millis(5));
+  }
+  out->rebuild_ms = (sys->scheduler()->Now() - returned).ToMillisF();
+  out->rebuilt_bytes = mirror->rebuilt_sectors() * mirror->sector_bytes();
+  out->degraded_ms = mirror->degraded_time().ToMillisF();
+  out->mirror_json = mirror->StatJson();
+  out->rebuild_json = sys->rebuild_daemon(0)->StatJson();
+  *status = OkStatus();
+}
+
+Result<RecoveryResult> RunRecovery(uint32_t bw_kbps) {
+  PFS_ASSIGN_OR_RETURN(std::unique_ptr<System> system,
+                       SystemBuilder::Build(RecoveryScenario(bw_kbps)));
+  PFS_RETURN_IF_ERROR(system->Setup());
+  RecoveryResult result;
+  Status status(ErrorCode::kAborted);
+  system->scheduler()->Spawn("bench.recovery", Drive(system.get(), &result, &status));
+  system->scheduler()->Run();
+  PFS_RETURN_IF_ERROR(status);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonSink json("fault_recovery", argc, argv);
+  std::printf("# Mirror rebuild time vs rebuild bandwidth cap (simulated backend)\n");
+  std::printf("# fail member 1 at t=200ms, return at t=2200ms; synced 4 KiB writes\n");
+  std::printf("%-10s %13s %14s %14s %12s\n", "bw_kbps", "peak debt KiB", "rebuilt KiB",
+              "rebuild ms", "degraded ms");
+
+  double prev_ms = 0;
+  bool shrinking = true;
+  bool first = true;
+  for (uint32_t bw : {256u, 1024u, 4096u, 0u}) {  // 0 = uncapped
+    auto result = RunRecovery(bw);
+    if (!result.ok()) {
+      std::printf("ERROR bw=%u: %s\n", bw, result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10u %13.1f %14.1f %14.3f %12.3f\n", bw,
+                static_cast<double>(result->peak_debt_bytes) / 1024.0,
+                static_cast<double>(result->rebuilt_bytes) / 1024.0, result->rebuild_ms,
+                result->degraded_ms);
+    if (!first && result->rebuild_ms >= prev_ms) {
+      shrinking = false;
+    }
+    first = false;
+    prev_ms = result->rebuild_ms;
+    if (json.enabled()) {
+      char line[1024];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"fault_recovery\",\"bw_kbps\":%u,\"peak_debt_bytes\":%llu,"
+                    "\"rebuilt_bytes\":%llu,\"rebuild_ms\":%.3f,\"degraded_ms\":%.3f,"
+                    "\"mirror\":%s,\"rebuild\":%s}",
+                    bw, static_cast<unsigned long long>(result->peak_debt_bytes),
+                    static_cast<unsigned long long>(result->rebuilt_bytes),
+                    result->rebuild_ms, result->degraded_ms, result->mirror_json.c_str(),
+                    result->rebuild_json.c_str());
+      json.Append(line);
+    }
+  }
+  std::printf("# rebuild time strictly shrinks as the cap rises: %s\n",
+              shrinking ? "yes" : "NO");
+  return shrinking ? 0 : 1;
+}

@@ -19,13 +19,17 @@ namespace {
 
 // A small mixed workload over every mount: create, write, read back, close,
 // and an occasional unlink, so layouts, cache, volumes, and drivers all see
-// traffic (degraded mirrors serve the reads from their survivors).
+// traffic (degraded mirrors serve the reads from their survivors). With a
+// fault schedule, the loop keeps generating traffic until the last event
+// has fired (so writes land inside the degraded window and accrue rebuild
+// debt), syncs, and then waits for the rebuild daemons to drain.
 Task<Status> Smoke(System* sys, int ops, uint64_t* done) {
   LocalClient* client = sys->client();
+  FaultInjector* injector = sys->fault_injector();
   OpenOptions create;
   create.create = true;
   const int nfs = sys->filesystem_count();
-  for (int i = 0; i < ops; ++i) {
+  for (int i = 0; i < ops || (injector != nullptr && !injector->done()); ++i) {
     const std::string mount = "/" + sys->mount_name(i % nfs);
     const std::string path = mount + "/smoke_" + std::to_string(i % 64);
     auto fd = co_await client->Open(path, create);
@@ -39,7 +43,16 @@ Task<Status> Smoke(System* sys, int ops, uint64_t* done) {
     if (i % 16 == 15) {
       PFS_CO_RETURN_IF_ERROR(co_await client->Unlink(path));
     }
+    // Push dirty blocks through the volumes while members may be failed:
+    // rebuild debt only accrues on flushed writes, not cache-resident ones.
+    if (injector != nullptr && i % 50 == 49) {
+      PFS_CO_RETURN_IF_ERROR(co_await client->SyncAll());
+    }
     ++*done;
+  }
+  PFS_CO_RETURN_IF_ERROR(co_await client->SyncAll());
+  while (!sys->fault_quiescent()) {
+    co_await sys->scheduler()->Sleep(Duration::Millis(20));
   }
   co_return co_await client->SyncAll();
 }
@@ -119,6 +132,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(done), ops, result.ToString().c_str(),
               (sys.scheduler()->Now() - TimePoint()).ToMillisF(),
               config.virtual_clock() ? "virtual" : "real");
+  if (FaultInjector* injector = sys.fault_injector(); injector != nullptr) {
+    std::printf("  fault: %s", injector->StatReport(false).c_str());
+    for (int f = 0; f < sys.filesystem_count(); ++f) {
+      if (auto* mirror = dynamic_cast<MirrorVolume*>(sys.volume(f)); mirror != nullptr) {
+        std::printf("  %s: degraded=%.3fms repairs=%llu debt=%lluB rebuilt=%lluB\n",
+                    mirror->stat_name().c_str(), mirror->degraded_time().ToMillisF(),
+                    static_cast<unsigned long long>(mirror->repairs()),
+                    static_cast<unsigned long long>(mirror->rebuild_debt_bytes()),
+                    static_cast<unsigned long long>(mirror->rebuilt_sectors() *
+                                                    mirror->sector_bytes()));
+      }
+    }
+  }
   if (with_stats) {
     std::printf("%s", sys.StatReport(false).c_str());
   }

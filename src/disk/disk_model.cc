@@ -10,6 +10,7 @@ namespace pfs {
 void RegisterBuiltinDiskModels() {
   // Keyed by DiskParams::model_name, so configs serialize by model name.
   DiskModelRegistry::Register("HP97560", [] { return DiskParams::Hp97560(); });
+  DiskModelRegistry::Register("HPC3323A", [] { return DiskParams::HpC3323A(); });
   DiskModelRegistry::Register("SyntheticTest", [] { return DiskParams::SyntheticTest(); });
 }
 
@@ -27,6 +28,24 @@ DiskParams DiskParams::Hp97560() {
   p.cache_bytes = 128 * 1024;
   p.immediate_report_writes = true;
   p.read_ahead_bytes = 4 * 1024;
+  return p;
+}
+
+DiskParams DiskParams::HpC3323A() {
+  DiskParams p;
+  p.model_name = "HPC3323A";
+  // 2982 cyl x 7 heads x 96 sectors x 512 B ~= 1.0 GB at a fixed
+  // sectors-per-track approximation of the drive's zoned geometry.
+  p.geometry = DiskGeometry{/*cylinders=*/2982, /*heads=*/7, /*sectors_per_track=*/96,
+                            /*sector_bytes=*/512, /*rpm=*/5400};
+  // Faster arm than the 97560: ~2.5 ms short seeks, ~11 ms full stroke.
+  p.seek = TwoRangeSeekModel::Params{/*boundary=*/616, /*short_a_ms=*/2.20, /*short_b_ms=*/0.300,
+                                     /*long_a_ms=*/4.50, /*long_b_ms=*/0.0022};
+  p.head_switch = Duration::MillisF(1.0);
+  p.controller_overhead = Duration::MillisF(1.1);
+  p.cache_bytes = 512 * 1024;
+  p.immediate_report_writes = true;
+  p.read_ahead_bytes = 64 * 1024;
   return p;
 }
 

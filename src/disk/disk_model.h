@@ -37,6 +37,11 @@ struct DiskParams {
   // Kotz et al. (Dartmouth TR94-220), the same sources the paper cites.
   static DiskParams Hp97560();
 
+  // HP C3323A: the faster mid-90s 3.5" profile from the same Ruemmler &
+  // Wilkes survey — 1.0 GB, 5400 rpm, quicker arm, bigger cache. Roughly
+  // half the per-request mechanical latency of the 97560.
+  static DiskParams HpC3323A();
+
   // Small, fast, deterministic disk for unit tests: constant seek, no cache.
   static DiskParams SyntheticTest();
 };

@@ -1,0 +1,79 @@
+// FaultInjector: the daemon that replays a FaultSchedule on the system
+// clock. It sleeps until each event's instant — virtual time under the
+// simulator (events land at exactly the scheduled simulated instant), real
+// time for the on-line server — then drives the target mirror:
+//
+//   fail    MirrorVolume::SetMemberFailed(m, true): degraded reads from the
+//           survivors, missed writes accrue as rebuild-debt extents
+//   return  RebuildDaemon::RequestRebuild(m): drain the debt as background
+//           copy I/O, then reinstate the member
+//
+// The injector is a StatSource ("fault.injector") and exposes quiescent()
+// — every event applied and every referenced rebuild drained — which the
+// scenario runner and benches use as the "availability experiment is over"
+// condition.
+#ifndef PFS_FAULT_FAULT_INJECTOR_H_
+#define PFS_FAULT_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "fault/fault_schedule.h"
+#include "fault/rebuild_daemon.h"
+#include "sched/scheduler.h"
+#include "stats/registry.h"
+#include "volume/volume.h"
+
+namespace pfs {
+
+class FaultInjector : public StatSource {
+ public:
+  // One schedule entry resolved against the assembled system. `rebuild` may
+  // be null only when the schedule holds no "return" event for the volume
+  // (SystemBuilder creates a RebuildDaemon for every mirror it assembles).
+  struct PlannedEvent {
+    FaultEvent event;
+    MirrorVolume* mirror;
+    RebuildDaemon* rebuild;
+  };
+
+  FaultInjector(Scheduler* sched, std::vector<PlannedEvent> events);
+
+  // Spawns the injector as a transient daemon: it neither keeps the
+  // scheduler's Run() alive nor leaves a finished thread record behind once
+  // the last event has been applied.
+  void Start();
+
+  size_t event_count() const { return events_.size(); }
+  size_t applied_count() const { return applied_; }
+  bool done() const { return applied_ == events_.size(); }
+  // Every event applied and every rebuild daemon the schedule touches idle:
+  // nothing fault-related will happen anymore.
+  bool quiescent() const;
+
+  uint64_t fails_applied() const { return fails_.value(); }
+  uint64_t returns_applied() const { return returns_.value(); }
+  // Events that found their target already in the requested state (failing
+  // a failed member, returning a live one).
+  uint64_t noop_events() const { return noops_.value(); }
+
+  // StatSource
+  std::string stat_name() const override { return "fault.injector"; }
+  std::string StatReport(bool with_histograms) const override;
+  std::string StatJson() const override;
+
+ private:
+  Task<> Run();
+  void Apply(const PlannedEvent& planned);
+
+  Scheduler* sched_;
+  std::vector<PlannedEvent> events_;
+  size_t applied_ = 0;
+  bool started_ = false;
+  Counter fails_;
+  Counter returns_;
+  Counter noops_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_FAULT_FAULT_INJECTOR_H_

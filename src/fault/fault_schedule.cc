@@ -1,0 +1,110 @@
+#include "fault/fault_schedule.h"
+
+#include "system/component_registry.h"
+
+namespace pfs {
+
+const char* FaultActionName(FaultAction a) {
+  switch (a) {
+    case FaultAction::kFail:
+      return "fail";
+    case FaultAction::kReturn:
+      return "return";
+  }
+  return "?";
+}
+
+void RegisterBuiltinFaultActions() {
+  FaultActionRegistry::Register("fail", FaultAction::kFail);
+  FaultActionRegistry::Register("return", FaultAction::kReturn);
+}
+
+namespace {
+
+// The volume specs the faults target: the config's own, or the defaulted
+// round-robin single-disk volumes (kind "single", one member each) that
+// SystemBuilder plans when none are given.
+size_t EffectiveVolumeCount(const SystemConfig& config) {
+  if (!config.volumes.empty()) {
+    return config.volumes.size();
+  }
+  return config.num_filesystems < 0 ? 0 : static_cast<size_t>(config.num_filesystems);
+}
+
+const VolumeSpec* ExplicitVolume(const SystemConfig& config, size_t v) {
+  return config.volumes.empty() ? nullptr : &config.volumes[v];
+}
+
+}  // namespace
+
+std::optional<FaultSpecError> CheckFaultSpecs(const SystemConfig& config) {
+  const size_t volume_count = EffectiveVolumeCount(config);
+  uint64_t prev_at_ms = 0;
+  for (size_t i = 0; i < config.faults.size(); ++i) {
+    const FaultSpec& fault = config.faults[i];
+    if (!FaultActionRegistry::Contains(fault.action)) {
+      return FaultSpecError{i, "action",
+                            "unknown fault action \"" + fault.action +
+                                "\" (registered: " + FaultActionRegistry::NameList() + ")"};
+    }
+    if (fault.volume < 0 || static_cast<size_t>(fault.volume) >= volume_count) {
+      return FaultSpecError{i, "volume",
+                            "volume index " + std::to_string(fault.volume) + " outside the " +
+                                std::to_string(volume_count) + " configured volume(s)"};
+    }
+    const VolumeSpec* spec = ExplicitVolume(config, static_cast<size_t>(fault.volume));
+    const std::string kind = spec == nullptr ? "single" : spec->kind;
+    const VolumeKindFamily::Value* family = VolumeKindRegistry::Find(kind);
+    // allows_degraded_start is the "members may be failed" capability: the
+    // same volume kinds that can start degraded can degrade mid-run.
+    if (family == nullptr || !family->allows_degraded_start) {
+      return FaultSpecError{i, "volume",
+                            "volume " + std::to_string(fault.volume) + " is kind \"" + kind +
+                                "\"; only mirror members can fail mid-run"};
+    }
+    const size_t member_count = spec == nullptr ? 1 : spec->members.size();
+    if (fault.member < 0 || static_cast<size_t>(fault.member) >= member_count) {
+      return FaultSpecError{i, "member",
+                            "member position " + std::to_string(fault.member) +
+                                " outside the volume's " + std::to_string(member_count) +
+                                " member(s)"};
+    }
+    if (fault.at_ms > kMaxFaultAtMs) {
+      return FaultSpecError{i, "at_ms",
+                            "timestamp " + std::to_string(fault.at_ms) +
+                                "ms is out of range (max " + std::to_string(kMaxFaultAtMs) +
+                                ")"};
+    }
+    if (i > 0 && fault.at_ms < prev_at_ms) {
+      return FaultSpecError{i, "at_ms",
+                            "non-monotonic timestamp: " + std::to_string(fault.at_ms) +
+                                "ms is before fault" + std::to_string(i - 1) + "'s " +
+                                std::to_string(prev_at_ms) + "ms"};
+    }
+    prev_at_ms = fault.at_ms;
+  }
+  return std::nullopt;
+}
+
+Result<FaultSchedule> FaultSchedule::FromConfig(const SystemConfig& config) {
+  if (auto error = CheckFaultSpecs(config); error.has_value()) {
+    return Status(ErrorCode::kInvalidArgument, "faults[" + std::to_string(error->fault) +
+                                                   "]." + error->field + ": " +
+                                                   error->message);
+  }
+  FaultSchedule schedule;
+  schedule.events_.reserve(config.faults.size());
+  for (const FaultSpec& fault : config.faults) {
+    schedule.events_.push_back(FaultEvent{
+        Duration::Millis(static_cast<int64_t>(fault.at_ms)),
+        static_cast<size_t>(fault.volume), static_cast<size_t>(fault.member),
+        *FaultActionRegistry::Find(fault.action)});
+  }
+  return schedule;
+}
+
+Duration FaultSchedule::last_event_time() const {
+  return events_.empty() ? Duration() : events_.back().at;
+}
+
+}  // namespace pfs

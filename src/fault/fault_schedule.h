@@ -1,0 +1,79 @@
+// Fault schedules: the declarative half of the fault-injection subsystem.
+// A SystemConfig carries an ordered list of timestamped FaultSpecs
+// ("fail member 1 of volume 0 at t=5000ms"); FaultSchedule validates the
+// list against the configured topology and resolves it into runtime events
+// the FaultInjector daemon replays on the system clock — virtual under the
+// simulator, real for the on-line server, the same schedule either way.
+// Actions are a registered component family (FaultActionRegistry), so new
+// fault kinds (whole-disk faults, latency degradation) plug in by name.
+#ifndef PFS_FAULT_FAULT_SCHEDULE_H_
+#define PFS_FAULT_FAULT_SCHEDULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "sched/time.h"
+#include "system/system_config.h"
+
+namespace pfs {
+
+enum class FaultAction : uint8_t {
+  kFail,    // fail the member out: degraded reads, writes accrue rebuild debt
+  kReturn,  // hand the member to the RebuildDaemon: drain debt, reinstate
+};
+
+const char* FaultActionName(FaultAction a);
+
+// Largest accepted fault<i>.at_ms (about 29 years): far beyond any run, and
+// small enough that the millisecond -> nanosecond conversion can never
+// overflow Duration's signed 64-bit representation.
+inline constexpr uint64_t kMaxFaultAtMs = 1'000'000'000'000;
+
+// One validated, resolved schedule entry (FaultSpec is the textual form).
+struct FaultEvent {
+  Duration at;  // measured from scheduler start (t = 0)
+  size_t volume;
+  size_t member;
+  FaultAction action;
+};
+
+// A field-level verdict on config.faults, shared by SystemConfig::Parse
+// (which maps it back to the offending scenario line) and
+// SystemBuilder::Validate (which prefixes the faults[i].field path).
+struct FaultSpecError {
+  size_t fault;       // index into config.faults
+  const char* field;  // "at_ms" | "volume" | "member" | "action"
+  std::string message;
+};
+
+// Checks every fault spec against the config's volumes: a registered action,
+// a volume index inside the topology whose kind supports member faults
+// (mirrors), a member position inside that volume, and non-decreasing
+// timestamps. nullopt when the schedule is well-formed.
+std::optional<FaultSpecError> CheckFaultSpecs(const SystemConfig& config);
+
+class FaultSchedule {
+ public:
+  // Validates config.faults (CheckFaultSpecs) and resolves the specs into
+  // runtime events; an empty config yields an empty schedule.
+  static Result<FaultSchedule> FromConfig(const SystemConfig& config);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  // Instant of the final event; zero for an empty schedule.
+  Duration last_event_time() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Registers the builtin fault actions ("fail", "return") with
+// FaultActionRegistry; called from EnsureBuiltinComponentsRegistered.
+void RegisterBuiltinFaultActions();
+
+}  // namespace pfs
+
+#endif  // PFS_FAULT_FAULT_SCHEDULE_H_

@@ -135,6 +135,16 @@ class Scheduler {
     return SpawnImpl(std::move(name), false, std::move(body), true);
   }
 
+  // A daemon whose record is reclaimed when its body finishes: the lifetime
+  // for one-shot background jobs (a fault schedule that applies its last
+  // event, a bounded rebuild pass) — they must not keep Run() alive, and a
+  // plain SpawnDaemon would leave a finished record in the thread table for
+  // the rest of the process. Same no-retain/no-join contract as
+  // SpawnTransient.
+  Thread* SpawnTransientDaemon(std::string name, Task<> body) {
+    return SpawnImpl(std::move(name), true, std::move(body), true);
+  }
+
   // Runs until no non-daemon work remains (or RequestStop). With
   // set_keep_alive(true) — the on-line server mode — Run() only returns on
   // RequestStop and otherwise blocks waiting for Post()ed work.

@@ -30,6 +30,7 @@ void EnsureBuiltinComponentsRegistered() {
   RegisterBuiltinVolumeKinds();
   RegisterBuiltinQueuePolicies();
   RegisterBuiltinDiskModels();
+  RegisterBuiltinFaultActions();
   registering = false;
   done.store(true, std::memory_order_release);
 }

@@ -33,6 +33,7 @@
 #include "core/status.h"
 #include "disk/disk_model.h"
 #include "driver/disk_driver.h"
+#include "fault/fault_schedule.h"
 #include "layout/cleaner.h"
 #include "layout/storage_layout.h"
 #include "layout/types.h"
@@ -56,6 +57,9 @@ void RegisterBuiltinFlushPolicies();         // src/cache/flush_policy.cc
 void RegisterBuiltinVolumeKinds();           // src/volume/volume.cc
 void RegisterBuiltinQueuePolicies();         // src/driver/disk_driver.cc
 void RegisterBuiltinDiskModels();            // src/disk/disk_model.cc
+                                             // RegisterBuiltinFaultActions:
+                                             // src/fault/fault_schedule.cc
+                                             // (declared in fault_schedule.h)
 
 // One registry per component family; `Traits` names the family (for error
 // messages) and the registered value type (a factory, a descriptor struct,
@@ -268,6 +272,17 @@ struct DiskModelFamily {
   using Value = std::function<DiskParams()>;
 };
 using DiskModelRegistry = ComponentRegistry<DiskModelFamily>;
+
+// ---------------------------------------------------------------------------
+// Fault actions ("fail", "return"): what a scheduled fault event does to its
+// target mirror member (fault_schedule.h defines FaultAction).
+// ---------------------------------------------------------------------------
+
+struct FaultActionFamily {
+  static constexpr const char* kFamily = "fault action";
+  using Value = FaultAction;
+};
+using FaultActionRegistry = ComponentRegistry<FaultActionFamily>;
 
 }  // namespace pfs
 

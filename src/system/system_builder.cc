@@ -240,6 +240,10 @@ Status ValidateStack(const SystemConfig& config) {
   if (DiskBlocks(config) == 0) {
     return Invalid("disk geometry: block size is not a multiple of the sector size");
   }
+  if (auto fault_error = CheckFaultSpecs(config); fault_error.has_value()) {
+    return Invalid("faults[" + std::to_string(fault_error->fault) + "]." +
+                   fault_error->field + ": " + fault_error->message);
+  }
   return OkStatus();
 }
 
@@ -348,6 +352,35 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
     sys.layouts_.push_back(std::move(layout));
     sys.filesystems_.push_back(std::move(fs));
   }
+
+  // The fault subsystem: every mirror gets a RebuildDaemon (so programmatic
+  // callers can fail/return members without a schedule); the injector is
+  // built only when the config carries fault events.
+  sys.rebuild_daemons_.resize(sys.fs_volumes_.size());
+  for (size_t f = 0; f < sys.fs_volumes_.size(); ++f) {
+    auto* mirror = dynamic_cast<MirrorVolume*>(sys.fs_volumes_[f].get());
+    if (mirror == nullptr) {
+      continue;
+    }
+    RebuildDaemon::Options options;
+    options.bw_kbps = config.rebuild_bw_kbps;
+    options.copy_real_data = !config.simulated();
+    sys.rebuild_daemons_[f] = std::make_unique<RebuildDaemon>(sched, mirror, options);
+    sys.stats_.Register(sys.rebuild_daemons_[f].get());
+  }
+  if (!config.faults.empty()) {
+    // Validated above (CheckFaultSpecs), so resolution cannot fail.
+    PFS_ASSIGN_OR_RETURN(const FaultSchedule schedule, FaultSchedule::FromConfig(config));
+    std::vector<FaultInjector::PlannedEvent> planned;
+    planned.reserve(schedule.size());
+    for (const FaultEvent& event : schedule.events()) {
+      auto* mirror = dynamic_cast<MirrorVolume*>(sys.fs_volumes_[event.volume].get());
+      PFS_CHECK_MSG(mirror != nullptr, "fault event targets a non-mirror volume");
+      planned.push_back({event, mirror, sys.rebuild_daemons_[event.volume].get()});
+    }
+    sys.injector_ = std::make_unique<FaultInjector>(sched, std::move(planned));
+    sys.stats_.Register(sys.injector_.get());
+  }
   return system;
 }
 
@@ -385,6 +418,14 @@ Status System::Setup() {
   cache_->Start();
   for (auto& layout : layouts_) {
     layout->Start();
+  }
+  for (auto& rebuild : rebuild_daemons_) {
+    if (rebuild != nullptr) {
+      rebuild->Start();
+    }
+  }
+  if (injector_ != nullptr) {
+    injector_->Start();
   }
   return OkStatus();
 }

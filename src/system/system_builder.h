@@ -18,6 +18,8 @@
 #include "disk/disk_model.h"
 #include "driver/disk_driver.h"
 #include "driver/io_executor.h"
+#include "fault/fault_injector.h"
+#include "fault/rebuild_daemon.h"
 #include "fs/file_system.h"
 #include "layout/storage_layout.h"
 #include "stats/registry.h"
@@ -63,6 +65,17 @@ class System {
   Volume* volume(int fs_index) { return fs_volumes_[static_cast<size_t>(fs_index)].get(); }
   const std::vector<std::unique_ptr<Volume>>& volumes() const { return fs_volumes_; }
 
+  // The fault subsystem. Every mirror fs-volume gets a RebuildDaemon
+  // (nullptr for other kinds); the injector exists only when config.faults
+  // is non-empty. Both are started by Setup().
+  RebuildDaemon* rebuild_daemon(int fs_index) {
+    return rebuild_daemons_[static_cast<size_t>(fs_index)].get();
+  }
+  FaultInjector* fault_injector() { return injector_.get(); }
+  bool fault_quiescent() const {
+    return injector_ == nullptr || injector_->quiescent();
+  }
+
   std::string StatReport(bool with_histograms) { return stats_.ReportAll(with_histograms); }
 
  private:
@@ -84,6 +97,10 @@ class System {
   std::unique_ptr<BufferCache> cache_;
   std::unique_ptr<DataMover> mover_;
   std::vector<std::unique_ptr<FileSystem>> filesystems_;
+  // One slot per file system (null unless the volume is a mirror); the
+  // injector references the daemons and the volumes, so both come after.
+  std::vector<std::unique_ptr<RebuildDaemon>> rebuild_daemons_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<LocalClient> client_;
   std::vector<std::string> mount_names_;
   StatsRegistry stats_;

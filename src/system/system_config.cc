@@ -15,6 +15,7 @@
 #include <set>
 #include <sstream>
 
+#include "fault/fault_schedule.h"
 #include "system/component_registry.h"
 
 namespace pfs {
@@ -179,30 +180,52 @@ std::string JoinInts(const std::vector<int>& values) {
   return out;
 }
 
-// "volume3.members" -> {3, "members"}; nullopt when the key is not a
-// volume<i>.* key.
-struct VolumeKey {
+// "volume3.members" -> {3, "members"} for prefix "volume"; nullopt when the
+// key is not a <prefix><i>.* key. Shared by the volume<i>.* and fault<i>.*
+// sections.
+struct IndexedKey {
   size_t index;
   std::string field;
 };
 
-std::optional<VolumeKey> ParseVolumeKey(const std::string& key) {
-  constexpr std::string_view kPrefix = "volume";
-  if (key.rfind(kPrefix, 0) != 0) {
+std::optional<IndexedKey> ParseIndexedKey(const std::string& key, std::string_view prefix) {
+  if (key.rfind(prefix, 0) != 0) {
     return std::nullopt;
   }
   const size_t dot = key.find('.');
-  if (dot == std::string::npos || dot <= kPrefix.size()) {
+  if (dot == std::string::npos || dot <= prefix.size()) {
     return std::nullopt;
   }
-  const std::string digits = key.substr(kPrefix.size(), dot - kPrefix.size());
+  const std::string digits = key.substr(prefix.size(), dot - prefix.size());
   // The digit-count bound keeps stoull from throwing out_of_range; an index
   // this large is a typo, and the unknown-key error names the line.
   if (digits.size() > 6 || digits.find_first_not_of("0123456789") != std::string::npos) {
     return std::nullopt;
   }
-  return VolumeKey{static_cast<size_t>(std::stoull(digits)), key.substr(dot + 1)};
+  return IndexedKey{static_cast<size_t>(std::stoull(digits)), key.substr(dot + 1)};
 }
+
+// Which scenario line set each fault<i> field, so the post-parse
+// cross-checks (CheckFaultSpecs) can point at the offending line.
+struct FaultFieldLines {
+  int at_ms = 0;
+  int volume = 0;
+  int member = 0;
+  int action = 0;
+
+  int ForField(std::string_view field) const {
+    if (field == "at_ms") {
+      return at_ms;
+    }
+    if (field == "volume") {
+      return volume;
+    }
+    if (field == "member") {
+      return member;
+    }
+    return action;
+  }
+};
 
 }  // namespace
 
@@ -212,6 +235,10 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
   std::map<size_t, VolumeSpec> volumes;
   size_t max_volume_index = 0;
   bool any_volume = false;
+  std::map<size_t, FaultSpec> faults;
+  std::map<size_t, FaultFieldLines> fault_lines;
+  size_t max_fault_index = 0;
+  bool any_fault = false;
 
   std::stringstream lines(text);
   std::string raw_line;
@@ -378,7 +405,52 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
         return fail(parsed.status());
       }
       config.host.per_op_cpu = Duration::Nanos(static_cast<int64_t>(*parsed));
-    } else if (auto vkey = ParseVolumeKey(key); vkey.has_value()) {
+    } else if (key == "fault.rebuild_bw_kbps") {
+      auto parsed = ParseUintMax(value, UINT32_MAX);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.rebuild_bw_kbps = static_cast<uint32_t>(*parsed);
+    } else if (auto fkey = ParseIndexedKey(key, "fault"); fkey.has_value()) {
+      any_fault = true;
+      max_fault_index = std::max(max_fault_index, fkey->index);
+      FaultSpec& spec = faults[fkey->index];
+      FaultFieldLines& field_lines = fault_lines[fkey->index];
+      if (fkey->field == "at_ms") {
+        // Bounded so the ms -> ns conversion can never overflow Duration.
+        auto parsed = ParseUintMax(value, kMaxFaultAtMs);
+        if (!parsed.ok()) {
+          return fail(parsed.status());
+        }
+        spec.at_ms = *parsed;
+        field_lines.at_ms = line_no;
+      } else if (fkey->field == "volume") {
+        auto parsed = ParseUintMax(value, INT32_MAX);
+        if (!parsed.ok()) {
+          return fail(parsed.status());
+        }
+        spec.volume = static_cast<int>(*parsed);
+        field_lines.volume = line_no;
+      } else if (fkey->field == "member") {
+        auto parsed = ParseUintMax(value, INT32_MAX);
+        if (!parsed.ok()) {
+          return fail(parsed.status());
+        }
+        spec.member = static_cast<int>(*parsed);
+        field_lines.member = line_no;
+      } else if (fkey->field == "action") {
+        // Checked here (not only post-parse) so an unknown action names its
+        // own line and the registered alternatives.
+        if (!FaultActionRegistry::Contains(value)) {
+          return fail(FaultActionRegistry::UnknownNameError(key, value));
+        }
+        spec.action = value;
+        field_lines.action = line_no;
+      } else {
+        return LineError(line_no, "unknown key \"" + key + "\" (fault keys: at_ms, "
+                                  "volume, member, action)");
+      }
+    } else if (auto vkey = ParseIndexedKey(key, "volume"); vkey.has_value()) {
       any_volume = true;
       max_volume_index = std::max(max_volume_index, vkey->index);
       VolumeSpec& spec = volumes[vkey->index];
@@ -427,6 +499,35 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
       config.volumes.push_back(std::move(volumes[i]));
     }
   }
+  if (any_fault) {
+    for (size_t i = 0; i <= max_fault_index; ++i) {
+      if (faults.find(i) == faults.end()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "fault" + std::to_string(i) + ": missing (fault indices must be "
+                      "contiguous from 0)");
+      }
+      const FaultFieldLines& field_lines = fault_lines[i];
+      for (const char* field : {"at_ms", "volume", "member", "action"}) {
+        if (field_lines.ForField(field) == 0) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "fault" + std::to_string(i) + "." + field +
+                            ": missing (every fault needs at_ms, volume, member, action)");
+        }
+      }
+    }
+    config.faults.clear();
+    for (size_t i = 0; i <= max_fault_index; ++i) {
+      config.faults.push_back(std::move(faults[i]));
+    }
+    // Cross-field checks (volume/member ranges, mirror-kind targets,
+    // monotonic timestamps) run against the finished config; errors point
+    // back at the scenario line that set the offending field.
+    if (auto error = CheckFaultSpecs(config); error.has_value()) {
+      return LineError(fault_lines[error->fault].ForField(error->field),
+                       "fault" + std::to_string(error->fault) + "." + error->field + ": " +
+                           error->message);
+    }
+  }
   return config;
 }
 
@@ -454,6 +555,16 @@ std::string SystemConfig::ToString() const {
         out << prefix << ".failed_members = " << JoinInts(spec.failed_members) << "\n";
       }
     }
+  }
+  out << "\n# fault schedule\n";
+  out << "fault.rebuild_bw_kbps = " << rebuild_bw_kbps << "\n";
+  for (size_t i = 0; i < faults.size(); ++i) {
+    const FaultSpec& fault = faults[i];
+    const std::string prefix = "fault" + std::to_string(i);
+    out << prefix << ".at_ms = " << fault.at_ms << "\n";
+    out << prefix << ".volume = " << fault.volume << "\n";
+    out << prefix << ".member = " << fault.member << "\n";
+    out << prefix << ".action = " << fault.action << "\n";
   }
   out << "\n# file-backed backend\n";
   out << "image.path = " << image_path << "\n";

@@ -49,6 +49,18 @@ struct VolumeSpec {
   std::vector<int> failed_members;
 };
 
+// One scheduled fault event in a scenario ("fault<i>.*" keys): at `at_ms`
+// on the system clock, apply `action` to member position `member` of
+// file-system volume `volume`. Actions resolve by name through
+// FaultActionRegistry ("fail", "return"); src/fault turns the validated
+// list into a FaultSchedule the FaultInjector daemon replays.
+struct FaultSpec {
+  uint64_t at_ms = 0;
+  int volume = 0;
+  int member = 0;
+  std::string action = "fail";
+};
+
 struct SystemConfig {
   // -- instantiation -------------------------------------------------------
   BackendKind backend = BackendKind::kSimulated;
@@ -68,6 +80,15 @@ struct SystemConfig {
   // Per-file-system volumes (volumes[f] backs file system f). Empty: every
   // file system gets a single-disk volume, round-robin over the disks.
   std::vector<VolumeSpec> volumes;
+
+  // -- fault schedule ------------------------------------------------------
+  // Timestamped member faults the FaultInjector replays mid-run (timestamps
+  // must be non-decreasing; targets must be mirror volumes). Empty: no
+  // injector is built.
+  std::vector<FaultSpec> faults;
+  // Bandwidth cap on the RebuildDaemon's background copy I/O after a member
+  // returns; 0 = uncapped (the rebuild contends at full speed).
+  uint32_t rebuild_bw_kbps = 4096;
 
   // -- file-backed backend -------------------------------------------------
   // Disk 0 uses `image_path` verbatim; disk i > 0 appends ".i".

@@ -334,18 +334,129 @@ MirrorVolume::MirrorVolume(Scheduler* sched, std::string name,
     : Volume(sched, std::move(name), std::move(members)), failed_(members_.size(), false) {
   total_ = CapacitySectors(MemberSectors(members_));
   member_missed_.resize(members_.size());
+  debt_.resize(members_.size());
+  down_since_.resize(members_.size());
+  inflight_missing_.resize(members_.size());
+}
+
+void MirrorVolume::MarkMemberFailed(size_t i) {
+  if (failed_[i]) {
+    return;
+  }
+  failed_[i] = true;
+  down_since_[i] = sched_->Now();
+  if (failed_count_++ == 0) {
+    degraded_since_ = sched_->Now();
+  }
 }
 
 Status MirrorVolume::SetMemberFailed(size_t i, bool failed) {
   PFS_CHECK(i < failed_.size());
-  if (!failed && failed_[i] && member_missed_[i].value() > 0) {
-    return Status(ErrorCode::kUnsupported,
-                  "mirror " + name_ + ": member " + std::to_string(i) + " missed " +
-                      std::to_string(member_missed_[i].value()) +
-                      " write(s); reinstating it without a rebuild would serve stale data");
+  if (failed) {
+    MarkMemberFailed(i);
+    return OkStatus();
   }
-  failed_[i] = failed;
+  if (!failed_[i]) {
+    return OkStatus();
+  }
+  if (!debt_[i].empty()) {
+    reinstate_refusals_.Inc();
+    return Status(ErrorCode::kUnsupported,
+                  "mirror " + name_ + ": member " + std::to_string(i) + " owes " +
+                      std::to_string(debt_sectors(i) * sector_bytes_) +
+                      " byte(s) of rebuild debt; reinstating it without a rebuild would "
+                      "serve stale data");
+  }
+  if (inflight_missing_[i] > 0) {
+    reinstate_refusals_.Inc();
+    return Status(ErrorCode::kUnsupported,
+                  "mirror " + name_ + ": " + std::to_string(inflight_missing_[i]) +
+                      " in-flight write(s) skipped member " + std::to_string(i) +
+                      "; reinstating before their debt is recorded would serve stale "
+                      "data");
+  }
+  failed_[i] = false;
+  ++repairs_;
+  repair_total_ns_ += (sched_->Now() - down_since_[i]).nanos();
+  PFS_CHECK(failed_count_ > 0);
+  if (--failed_count_ == 0) {
+    degraded_ns_ += (sched_->Now() - degraded_since_).nanos();
+  }
   return OkStatus();
+}
+
+void MirrorVolume::AddDebt(size_t i, uint64_t sector, uint32_t count) {
+  if (count == 0) {
+    return;
+  }
+  std::map<uint64_t, uint64_t>& debt = debt_[i];
+  uint64_t start = sector;
+  uint64_t end = sector + count;
+  auto it = debt.lower_bound(start);
+  if (it != debt.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {  // touching counts as mergeable
+      start = prev->first;
+      end = std::max(end, prev->second);
+      debt.erase(prev);
+    }
+  }
+  while (it != debt.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = debt.erase(it);
+  }
+  debt.emplace(start, end);
+}
+
+uint64_t MirrorVolume::debt_sectors(size_t i) const {
+  uint64_t total = 0;
+  for (const auto& [start, end] : debt_[i]) {
+    total += end - start;
+  }
+  return total;
+}
+
+uint64_t MirrorVolume::rebuild_debt_bytes() const {
+  uint64_t sectors = 0;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    sectors += debt_sectors(i);
+  }
+  return sectors * sector_bytes_;
+}
+
+std::optional<std::pair<uint64_t, uint32_t>> MirrorVolume::PopDebtExtent(
+    size_t i, uint32_t max_sectors) {
+  PFS_CHECK(i < debt_.size());
+  std::map<uint64_t, uint64_t>& debt = debt_[i];
+  if (debt.empty() || max_sectors == 0) {
+    return std::nullopt;
+  }
+  auto it = debt.begin();
+  const uint64_t start = it->first;
+  const uint64_t end = it->second;
+  const uint64_t take = std::min<uint64_t>(end - start, max_sectors);
+  debt.erase(it);
+  if (start + take < end) {
+    debt.emplace(start + take, end);
+  }
+  return std::make_pair(start, static_cast<uint32_t>(take));
+}
+
+void MirrorVolume::PushDebtExtent(size_t i, uint64_t sector, uint32_t count) {
+  AddDebt(i, sector, count);
+}
+
+Duration MirrorVolume::degraded_time() const {
+  int64_t ns = degraded_ns_;
+  if (failed_count_ > 0) {
+    ns += (sched_->Now() - degraded_since_).nanos();
+  }
+  return Duration::Nanos(ns);
+}
+
+Duration MirrorVolume::mean_time_to_repair() const {
+  return repairs_ == 0 ? Duration()
+                       : Duration::Nanos(repair_total_ns_ / static_cast<int64_t>(repairs_));
 }
 
 size_t MirrorVolume::live_member_count() const {
@@ -405,7 +516,7 @@ Task<Status> MirrorVolume::Read(uint64_t sector, uint32_t count, std::span<std::
       // first, forever. (All-members-erroring is left unmarked: that looks
       // transient, and failing everyone would brick the volume.)
       for (size_t j = 0; j < i; ++j) {
-        failed_[order[j]] = true;
+        MarkMemberFailed(order[j]);
       }
       fanout_.Record(static_cast<double>(i + 1));  // members actually touched
       co_return last;
@@ -419,9 +530,12 @@ Task<Status> MirrorVolume::Write(uint64_t sector, uint32_t count,
                                  std::span<const std::byte> in) {
   PFS_CHECK(sector + count <= total_);
   std::vector<Fragment> fragments;
+  std::vector<size_t> skipped;  // failed at issue: they will miss this write
   for (size_t m = 0; m < members_.size(); ++m) {
     if (!failed_[m]) {
       fragments.push_back({m, sector, count, 0});
+    } else {
+      skipped.push_back(m);
     }
   }
   if (fragments.empty()) {
@@ -429,11 +543,20 @@ Task<Status> MirrorVolume::Write(uint64_t sector, uint32_t count,
     fanout_.Record(0);
     co_return Status(ErrorCode::kIoError, "mirror " + name_ + ": no live members");
   }
+  // While this write is in flight, the skipped members' debt for it is not
+  // yet recorded — block their reinstatement until it is (or until the
+  // write turns out to have failed everywhere).
+  for (size_t m : skipped) {
+    ++inflight_missing_[m];
+  }
   // Per-fragment statuses, not just the first error: a member whose write
   // fails while a replica succeeds must leave the mirror degraded — treating
   // it as still live would let later reads return divergent data.
   std::vector<Status> results;
   const Status first_error = co_await RunFragments(true, {}, in, fragments, &results);
+  for (size_t m : skipped) {
+    --inflight_missing_[m];
+  }
   size_t successes = 0;
   for (const Status& s : results) {
     successes += s.ok() ? 1 : 0;
@@ -445,41 +568,64 @@ Task<Status> MirrorVolume::Write(uint64_t sector, uint32_t count,
     // policy as Read.
     co_return first_error;
   }
-  // A replica persisted it: every member that did not — skipped while
-  // failed out, or errored just now — owes this write as rebuild debt.
-  for (size_t m = 0; m < members_.size(); ++m) {
-    if (failed_[m]) {
-      missed_writes_.Inc();
-      member_missed_[m].Inc();
-    }
+  // A replica persisted it: every member that did not — skipped at issue,
+  // or errored just now — owes this write as rebuild debt. The issue-time
+  // set, not the current failed_ flags: a member that took the write and
+  // was failed out mid-flight holds the data (no debt), and one skipped at
+  // issue owes it even if something reinstated it meanwhile.
+  for (size_t m : skipped) {
+    missed_writes_.Inc();
+    member_missed_[m].Inc();
+    AddDebt(m, sector, count);
   }
   for (size_t i = 0; i < fragments.size(); ++i) {
     if (!results[i].ok()) {
-      failed_[fragments[i].member] = true;
+      MarkMemberFailed(fragments[i].member);
       missed_writes_.Inc();
       member_missed_[fragments[i].member].Inc();
+      AddDebt(fragments[i].member, sector, count);
     }
   }
   co_return OkStatus();
 }
 
 std::string MirrorVolume::StatReport(bool with_histograms) const {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "live=%zu/%zu missed-writes=%llu degraded-reads=%llu\n",
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "live=%zu/%zu missed-writes=%llu degraded-reads=%llu\n"
+                "degraded=%.3fms repairs=%llu mttr=%.3fms refused-reinstates=%llu "
+                "debt=%lluB rebuilt=%lluB\n",
                 live_member_count(), members_.size(),
                 static_cast<unsigned long long>(missed_writes_.value()),
-                static_cast<unsigned long long>(degraded_reads_.value()));
+                static_cast<unsigned long long>(degraded_reads_.value()),
+                degraded_time().ToMillisF(), static_cast<unsigned long long>(repairs_),
+                mean_time_to_repair().ToMillisF(),
+                static_cast<unsigned long long>(reinstate_refusals_.value()),
+                static_cast<unsigned long long>(rebuild_debt_bytes()),
+                static_cast<unsigned long long>(rebuilt_sectors_.value() * sector_bytes_));
   return Volume::StatReport(with_histograms) + buf;
 }
 
 std::string MirrorVolume::StatJson() const {
   std::string out = Volume::StatJson();
   out.pop_back();  // extend the base object in place
-  char buf[128];
+  const uint64_t rebuilt_bytes = rebuilt_sectors_.value() * sector_bytes_;
+  const double rebuild_s = static_cast<double>(rebuild_ns_) / 1e9;
+  const double rebuild_kbps = rebuild_s > 0 ? static_cast<double>(rebuilt_bytes) / rebuild_s / 1024.0 : 0.0;
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
-                ",\"live_members\":%zu,\"missed_writes\":%llu,\"degraded_reads\":%llu}",
+                ",\"live_members\":%zu,\"missed_writes\":%llu,\"degraded_reads\":%llu,"
+                "\"reinstate_refusals\":%llu,\"rebuild_debt_bytes\":%llu,"
+                "\"degraded_ms\":%.3f,\"repairs\":%llu,\"mttr_ms\":%.3f,"
+                "\"rebuilt_bytes\":%llu,\"rebuild_ms\":%.3f,\"rebuild_kbps\":%.1f}",
                 live_member_count(), static_cast<unsigned long long>(missed_writes_.value()),
-                static_cast<unsigned long long>(degraded_reads_.value()));
+                static_cast<unsigned long long>(degraded_reads_.value()),
+                static_cast<unsigned long long>(reinstate_refusals_.value()),
+                static_cast<unsigned long long>(rebuild_debt_bytes()),
+                degraded_time().ToMillisF(), static_cast<unsigned long long>(repairs_),
+                mean_time_to_repair().ToMillisF(),
+                static_cast<unsigned long long>(rebuilt_bytes),
+                static_cast<double>(rebuild_ns_) / 1e6, rebuild_kbps);
   return out + buf;
 }
 

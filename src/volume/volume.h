@@ -15,7 +15,10 @@
 #ifndef PFS_VOLUME_VOLUME_H_
 #define PFS_VOLUME_VOLUME_H_
 
+#include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sched/scheduler.h"
@@ -172,8 +175,9 @@ class MirrorVolume final : public Volume {
   uint64_t total_sectors() const override { return total_; }
 
   // Failing a member out always succeeds. Reinstating one refuses
-  // (kUnsupported) while the member carries rebuild debt — without a
-  // rebuild (a ROADMAP item) its stale blocks would rotate into reads.
+  // (kUnsupported) while the member carries rebuild debt — its stale blocks
+  // would rotate into reads; the RebuildDaemon (src/fault) drains the debt
+  // first and then reinstates. Refusals are counted (reinstate_refusals).
   Status SetMemberFailed(size_t i, bool failed);
   bool member_failed(size_t i) const { return failed_[i]; }
   // Writes member i missed while failed out: its rebuild debt.
@@ -182,6 +186,39 @@ class MirrorVolume final : public Volume {
   uint64_t missed_writes() const { return missed_writes_.value(); }
   uint64_t degraded_reads() const { return degraded_reads_.value(); }
 
+  // -- rebuild-debt extents (the RebuildDaemon's work queue) ---------------
+  // Debt is tracked as merged member-local sector extents, so a rebuild
+  // copies exactly the ranges the member missed (mirror members share the
+  // volume's address space: member-local sector == volume sector).
+  uint64_t debt_sectors(size_t i) const;
+  // Outstanding debt over all members, in bytes (also in StatJson).
+  uint64_t rebuild_debt_bytes() const;
+  // Removes and returns up to `max_sectors` from the front of member i's
+  // lowest debt extent; nullopt when the member owes nothing. A foreground
+  // write racing the copy simply re-adds its extent (the member is still
+  // failed), so the rebuild loop re-copies it before draining dry.
+  std::optional<std::pair<uint64_t, uint32_t>> PopDebtExtent(size_t i, uint32_t max_sectors);
+  // Returns a popped extent to the debt map (a rebuild copy that failed).
+  void PushDebtExtent(size_t i, uint64_t sector, uint32_t count);
+  // True when SetMemberFailed(i, false) would be refused right now:
+  // outstanding debt, or an in-flight write that skipped the member. The
+  // RebuildDaemon polls this before its routine reinstate attempts, so
+  // reinstate_refusals counts only genuine premature-reinstate calls.
+  bool ReinstateBlocked(size_t i) const {
+    return !debt_[i].empty() || inflight_missing_[i] > 0;
+  }
+
+  // -- rebuild/availability accounting (hooks for the RebuildDaemon) -------
+  void NoteRebuildCopied(uint64_t sectors) { rebuilt_sectors_.Inc(sectors); }
+  void NoteRebuildElapsed(Duration d) { rebuild_ns_ += d.nanos(); }
+  uint64_t rebuilt_sectors() const { return rebuilt_sectors_.value(); }
+  uint64_t reinstate_refusals() const { return reinstate_refusals_.value(); }
+  uint64_t repairs() const { return repairs_; }
+  // Cumulative wall/sim time with >= 1 member failed, open interval included.
+  Duration degraded_time() const;
+  // Mean time to repair over completed reinstatements.
+  Duration mean_time_to_repair() const;
+
   std::string StatReport(bool with_histograms) const override;
   std::string StatJson() const override;
 
@@ -189,12 +226,37 @@ class MirrorVolume final : public Volume {
   // Live members, shortest queue first; `rr_` rotates equal-depth choices.
   std::vector<size_t> ReadOrder();
 
+  // The one place a member transitions to failed (explicit SetMemberFailed
+  // and the Read/Write fail-out paths), so the degraded-time clock and
+  // per-member down-since stamps stay consistent. Idempotent.
+  void MarkMemberFailed(size_t i);
+  // Merges [sector, sector + count) into member i's debt extents.
+  void AddDebt(size_t i, uint64_t sector, uint32_t count);
+
   std::vector<bool> failed_;
   uint64_t total_ = 0;
   size_t rr_ = 0;
   Counter missed_writes_;  // writes a failed member did not see (rebuild debt)
   std::vector<Counter> member_missed_;  // the same debt, per member
   Counter degraded_reads_;
+
+  // Rebuild debt as merged [start, end) sector extents, per member.
+  std::vector<std::map<uint64_t, uint64_t>> debt_;
+  // Writes currently in flight whose fragment set skipped member i (it was
+  // failed at issue). Their debt is recorded at completion, so reinstating
+  // while this is non-zero would lose it and silently diverge the mirror —
+  // SetMemberFailed(i, false) refuses until they drain.
+  std::vector<size_t> inflight_missing_;
+  // Availability accounting.
+  std::vector<TimePoint> down_since_;  // valid while failed_[i]
+  size_t failed_count_ = 0;
+  TimePoint degraded_since_;   // valid while failed_count_ > 0
+  int64_t degraded_ns_ = 0;    // closed degraded intervals
+  uint64_t repairs_ = 0;
+  int64_t repair_total_ns_ = 0;
+  Counter reinstate_refusals_;
+  Counter rebuilt_sectors_;
+  int64_t rebuild_ns_ = 0;  // time the RebuildDaemon spent copying for us
 };
 
 }  // namespace pfs

@@ -56,6 +56,8 @@ TEST(ConfigRoundTripTest, EveryFieldSurvives) {
   VolumeSpec single;
   single.members = {5};
   config.volumes = {mirror, striped, single};
+  config.faults = {FaultSpec{2500, 0, 0, "fail"}, FaultSpec{9000, 0, 0, "return"}};
+  config.rebuild_bw_kbps = 768;
   config.image_path = "/tmp/pfs images/with spaces.img";
   config.image_bytes = 24 * kMiB + 512;
   config.format = false;
@@ -82,6 +84,10 @@ TEST(ConfigRoundTripTest, EveryFieldSurvives) {
   EXPECT_EQ(reparsed->volumes[1].stripe_unit_kb, 128u);
   EXPECT_EQ(reparsed->host.per_op_cpu.nanos(), 98765);
   EXPECT_EQ(reparsed->image_path, config.image_path);
+  ASSERT_EQ(reparsed->faults.size(), 2u);
+  EXPECT_EQ(reparsed->faults[1].at_ms, 9000u);
+  EXPECT_EQ(reparsed->faults[1].action, "return");
+  EXPECT_EQ(reparsed->rebuild_bw_kbps, 768u);
 }
 
 // Randomized configs: Parse(ToString(c)) must reproduce the serialization

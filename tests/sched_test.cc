@@ -230,6 +230,24 @@ TEST(SchedulerTest, DaemonsDoNotKeepRunAlive) {
   EXPECT_EQ(sched->Now(), TimePoint() + Duration::Millis(5));
 }
 
+TEST(SchedulerTest, TransientDaemonIsReclaimedAndDoesNotKeepRunAlive) {
+  // The one-shot background-job lifetime (fault injectors, bounded rebuild
+  // passes): a transient daemon neither keeps Run() alive while it sleeps
+  // nor leaves a finished record in the thread table once its body returns.
+  auto sched = Scheduler::CreateVirtual();
+  const size_t baseline = sched->thread_record_count();
+  sched->SpawnTransientDaemon("oneshot", ShortTask(sched.get()));  // 5ms body
+  sched->SpawnTransientDaemon("sleeper", Forever(sched.get()));
+  sched->Spawn("worker", [](Scheduler* s) -> Task<> {
+    co_await s->Sleep(Duration::Millis(20));
+  }(sched.get()));
+  sched->Run();  // returns when worker finishes, sleeper still parked
+  EXPECT_EQ(sched->Now(), TimePoint() + Duration::Millis(20));
+  // oneshot finished mid-run and was reclaimed; worker's record is retained
+  // (regular spawn), sleeper's is still live.
+  EXPECT_EQ(sched->thread_record_count(), baseline + 2);
+}
+
 TEST(SchedulerTest, RunForBoundsVirtualTime) {
   auto sched = Scheduler::CreateVirtual();
   sched->SpawnDaemon("housekeeper", Forever(sched.get()));

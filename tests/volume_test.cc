@@ -235,11 +235,14 @@ TEST(MirrorVolumeTest, DegradedReadsAndRebuildDebt) {
   EXPECT_EQ(b.at(0, 0), fresh[0]);
   EXPECT_NE(a.at(0, 0), fresh[0]);  // stale: member 0 missed the write
 
-  // The degraded-mode counters reach the machine-readable stats too.
+  // The degraded-mode counters reach the machine-readable stats too,
+  // including the outstanding rebuild debt (4 sectors = 2048 bytes).
   const std::string json = vol.StatJson();
   EXPECT_NE(json.find("\"live_members\":1"), std::string::npos);
   EXPECT_NE(json.find("\"missed_writes\":1"), std::string::npos);
   EXPECT_NE(json.find("\"degraded_reads\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rebuild_debt_bytes\":2048"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reinstate_refusals\":0"), std::string::npos) << json;
 
   // Both members failed: reads and writes surface an I/O error.
   ASSERT_TRUE(vol.SetMemberFailed(1, true).ok());
@@ -252,6 +255,7 @@ TEST(MirrorVolumeTest, DegradedReadsAndRebuildDebt) {
   ASSERT_TRUE(vol.SetMemberFailed(1, false).ok());
   EXPECT_EQ(vol.SetMemberFailed(0, false).code(), ErrorCode::kUnsupported);
   EXPECT_TRUE(vol.member_failed(0));
+  EXPECT_EQ(vol.reinstate_refusals(), 1u);  // the refusal itself is observable
   ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 4, back)).ok());
   EXPECT_EQ(back, fresh);
 }
