@@ -67,12 +67,27 @@ class QueueingDiskDriver : public DiskDriver, public StatSource {
   const LatencyHistogram& io_latency() const { return latency_; }
   const LatencyHistogram& queue_wait() const { return queue_wait_; }
 
+  uint64_t batches() const { return batches_.value(); }
+  const Histogram& batch_size_hist() const { return batch_size_; }
+
  protected:
   Scheduler* sched() { return sched_; }
 
   // Performs `req` on the device and returns when it completed (req->result
-  // and req->complete_time filled in).
-  virtual Task<> Dispatch(IoRequest* req) = 0;
+  // and req->complete_time filled in). Subclasses override this or
+  // DispatchBatch; the defaults delegate to each other, so overriding
+  // neither CHECK-fails on first dispatch.
+  virtual Task<> Dispatch(IoRequest* req);
+
+  // Performs a policy-ordered batch of requests and returns when every one
+  // completed. The default dispatches them one at a time; batching drivers
+  // (FileBackedDriver) override it to submit the whole batch at once.
+  virtual Task<> DispatchBatch(std::span<IoRequest* const> batch);
+
+  // How many queued requests one dispatch may drain (1 = no batching). The
+  // picks stay policy-ordered: each drain continues the sweep from the
+  // previous pick's sector.
+  virtual size_t MaxBatchSize() const { return 1; }
 
  private:
   Task<Status> Submit(IoRequest* req);
@@ -92,6 +107,8 @@ class QueueingDiskDriver : public DiskDriver, public StatSource {
   Counter ops_;
   Counter reads_;
   Counter writes_;
+  Counter batches_;              // device dispatches (>= 1 request each)
+  Histogram batch_size_{0, 64, 64};  // requests per dispatch
   Histogram queue_len_{0, 128, 128};
   LatencyHistogram queue_wait_;
   LatencyHistogram latency_;

@@ -1,7 +1,8 @@
 // The production disk-driver (paper §3): "uses a Unix-file (ordinary file,
 // or raw-device) as back-end" with the same combined read-write queue and
-// C-LOOK policy as the simulated driver. Blocking syscalls run on an
-// IoExecutor pool; completions return to the scheduler via Post().
+// C-LOOK policy as the simulated driver. Batches of queued requests are
+// submitted together through the IoExecutor's engine (preadv/pwritev pool
+// or io_uring); completions return to the scheduler via Post().
 #ifndef PFS_DRIVER_FILE_BACKED_DRIVER_H_
 #define PFS_DRIVER_FILE_BACKED_DRIVER_H_
 
@@ -19,6 +20,11 @@ class FileBackedDriver final : public QueueingDiskDriver {
   // The sector size the backing file is addressed in.
   static constexpr uint32_t kSectorBytes = 512;
 
+  // One dispatch drains up to this many queued requests into one engine
+  // batch (policy-ordered, so contiguous requests arrive adjacent and the
+  // engine can vector them).
+  static constexpr size_t kMaxBatch = 32;
+
   // Opens (creating and sizing if needed) `path` as the backing store.
   static Result<std::unique_ptr<FileBackedDriver>> Create(
       Scheduler* sched, std::string name, const std::string& path, uint64_t size_bytes,
@@ -29,8 +35,15 @@ class FileBackedDriver final : public QueueingDiskDriver {
   uint64_t total_sectors() const override { return total_sectors_; }
   uint32_t sector_bytes() const override { return kSectorBytes; }
 
+  // The engine actually performing this driver's I/O ("threadpool", "uring").
+  const char* engine_name() const { return executor_->engine()->name(); }
+
+  std::string StatReport(bool with_histograms) const override;
+  std::string StatJson() const override;
+
  protected:
-  Task<> Dispatch(IoRequest* req) override;
+  Task<> DispatchBatch(std::span<IoRequest* const> batch) override;
+  size_t MaxBatchSize() const override { return kMaxBatch; }
 
  private:
   FileBackedDriver(Scheduler* sched, std::string name, int fd, uint64_t total_sectors,
@@ -43,6 +56,9 @@ class FileBackedDriver final : public QueueingDiskDriver {
   int fd_;
   uint64_t total_sectors_;
   IoExecutor* executor_;
+  // Wall time from handing a batch to the executor to its engine completion
+  // (pool wait + submission syscalls + device time), in microseconds.
+  Histogram submit_us_{0, 65536, 64};
 };
 
 }  // namespace pfs

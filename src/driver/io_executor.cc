@@ -2,7 +2,9 @@
 
 namespace pfs {
 
-IoExecutor::IoExecutor(int num_threads) {
+IoExecutor::IoExecutor(int num_threads, std::unique_ptr<IoEngine> engine)
+    : engine_(engine != nullptr ? std::move(engine)
+                                : std::make_unique<ThreadPoolIoEngine>()) {
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -18,6 +20,13 @@ IoExecutor::~IoExecutor() {
   for (auto& t : threads_) {
     t.join();
   }
+}
+
+void IoExecutor::SubmitBatch(std::span<BatchIo> batch, std::function<void()> on_complete) {
+  Execute([this, batch, cb = std::move(on_complete)] {
+    engine_->RunBatch(batch);
+    cb();
+  });
 }
 
 void IoExecutor::Execute(std::function<void()> fn) {

@@ -1,21 +1,31 @@
 // A small pool of OS threads for blocking system calls (pread/pwrite) made
 // on behalf of the on-line system, keeping the cooperative scheduler thread
 // responsive. Completions are delivered back via Scheduler::Post.
+//
+// Batches go through a pluggable IoEngine (io_engine.h): the portable
+// thread-pool engine issues preadv/pwritev on the pool thread; the io_uring
+// engine submits the whole batch with one syscall. Either way the pool
+// thread blocks for the batch and then runs the single completion callback.
 #ifndef PFS_DRIVER_IO_EXECUTOR_H_
 #define PFS_DRIVER_IO_EXECUTOR_H_
 
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
+
+#include "driver/io_engine.h"
 
 namespace pfs {
 
 class IoExecutor {
  public:
-  explicit IoExecutor(int num_threads = 2);
+  // `engine` performs the batches; nullptr selects ThreadPoolIoEngine.
+  explicit IoExecutor(int num_threads = 2, std::unique_ptr<IoEngine> engine = nullptr);
   ~IoExecutor();
 
   IoExecutor(const IoExecutor&) = delete;
@@ -25,9 +35,19 @@ class IoExecutor {
   // completion back to the scheduler.
   void Execute(std::function<void()> fn);
 
+  // Performs every descriptor of `batch` on a pool thread through the
+  // engine, then runs `on_complete` (still on the pool thread — it is
+  // responsible for posting back to the scheduler). The caller keeps the
+  // descriptor storage alive until `on_complete` runs; per-descriptor
+  // results land in BatchIo::result.
+  void SubmitBatch(std::span<BatchIo> batch, std::function<void()> on_complete);
+
+  IoEngine* engine() const { return engine_.get(); }
+
  private:
   void WorkerLoop();
 
+  std::unique_ptr<IoEngine> engine_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;

@@ -29,6 +29,7 @@ void EnsureBuiltinComponentsRegistered() {
   RegisterBuiltinFlushPolicies();
   RegisterBuiltinVolumeKinds();
   RegisterBuiltinQueuePolicies();
+  RegisterBuiltinIoEngines();
   RegisterBuiltinDiskModels();
   RegisterBuiltinFaultActions();
   registering = false;

@@ -33,6 +33,7 @@
 #include "core/status.h"
 #include "disk/disk_model.h"
 #include "driver/disk_driver.h"
+#include "driver/io_engine.h"
 #include "fault/fault_schedule.h"
 #include "layout/cleaner.h"
 #include "layout/storage_layout.h"
@@ -56,6 +57,9 @@ void RegisterBuiltinReplacementPolicies();   // src/cache/replacement.cc
 void RegisterBuiltinFlushPolicies();         // src/cache/flush_policy.cc
 void RegisterBuiltinVolumeKinds();           // src/volume/volume.cc
 void RegisterBuiltinQueuePolicies();         // src/driver/disk_driver.cc
+                                             // RegisterBuiltinIoEngines:
+                                             // src/driver/io_engine.cc
+                                             // (declared in io_engine.h)
 void RegisterBuiltinDiskModels();            // src/disk/disk_model.cc
                                              // RegisterBuiltinFaultActions:
                                              // src/fault/fault_schedule.cc
@@ -261,6 +265,18 @@ struct QueuePolicyFamily {
   using Value = QueueSchedPolicy;
 };
 using QueuePolicyRegistry = ComponentRegistry<QueuePolicyFamily>;
+
+// ---------------------------------------------------------------------------
+// I/O engines ("threadpool", "uring"): how the file-backed driver's batches
+// reach the kernel (io_engine.h). Factories, so every System owns its own
+// engine instance (the uring engine holds kernel rings).
+// ---------------------------------------------------------------------------
+
+struct IoEngineFamily {
+  static constexpr const char* kFamily = "io engine";
+  using Value = std::function<std::unique_ptr<IoEngine>()>;
+};
+using IoEngineRegistry = ComponentRegistry<IoEngineFamily>;
 
 // ---------------------------------------------------------------------------
 // Simulated disk models ("HP97560", "SyntheticTest"): parameter factories,

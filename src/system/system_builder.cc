@@ -236,6 +236,9 @@ Status ValidateStack(const SystemConfig& config) {
     if (config.io_threads < 1) {
       return Invalid("io_threads: the file-backed backend needs at least one");
     }
+    if (!IoEngineRegistry::Contains(config.io_engine)) {
+      return IoEngineRegistry::UnknownNameError("io_engine", config.io_engine);
+    }
   }
   if (DiskBlocks(config) == 0) {
     return Invalid("disk geometry: block size is not a multiple of the sector size");
@@ -291,7 +294,8 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
       sys.busses_.push_back(std::move(bus));
     }
   } else {
-    sys.executor_ = std::make_unique<IoExecutor>(config.io_threads);
+    auto engine = (*IoEngineRegistry::Find(config.io_engine))();
+    sys.executor_ = std::make_unique<IoExecutor>(config.io_threads, std::move(engine));
     const int total_disks = TotalDisks(config);
     for (int i = 0; i < total_disks; ++i) {
       const std::string path =

@@ -262,7 +262,11 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
     if (key.empty()) {
       return LineError(line_no, "empty key");
     }
-    if (!seen_keys.insert(key).second) {
+    // "image.io_threads" is the legacy spelling of "system.io_threads"; fold
+    // them together so a scenario can't set the same knob twice.
+    const std::string canonical_key =
+        key == "image.io_threads" ? std::string("system.io_threads") : key;
+    if (!seen_keys.insert(canonical_key).second) {
       return LineError(line_no, "duplicate key \"" + key + "\"");
     }
 
@@ -337,12 +341,17 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
         return fail(parsed.status());
       }
       config.format = *parsed;
-    } else if (key == "image.io_threads") {
+    } else if (key == "system.io_threads" || key == "image.io_threads") {
       auto parsed = ParseUintMax(value, INT32_MAX);
       if (!parsed.ok()) {
         return fail(parsed.status());
       }
       config.io_threads = static_cast<int>(*parsed);
+    } else if (key == "system.io_engine") {
+      if (!IoEngineRegistry::Contains(value)) {
+        return fail(IoEngineRegistry::UnknownNameError(key, value));
+      }
+      config.io_engine = value;
     } else if (key == "layout.name") {
       if (!LayoutRegistry::Contains(value)) {
         return fail(LayoutRegistry::UnknownNameError(key, value));
@@ -570,7 +579,8 @@ std::string SystemConfig::ToString() const {
   out << "image.path = " << image_path << "\n";
   out << "image.bytes = " << FormatBytes(image_bytes) << "\n";
   out << "image.format = " << (format ? "true" : "false") << "\n";
-  out << "image.io_threads = " << io_threads << "\n";
+  out << "system.io_threads = " << io_threads << "\n";
+  out << "system.io_engine = " << io_engine << "\n";
   out << "\n# storage layout\n";
   out << "layout.name = " << layout << "\n";
   out << "layout.cleaner = " << cleaner << "\n";

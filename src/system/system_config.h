@@ -96,6 +96,10 @@ struct SystemConfig {
   uint64_t image_bytes = 64 * kMiB;  // per disk
   bool format = true;                // format vs mount existing images
   int io_threads = 2;                // blocking-syscall pool size
+  // Batch submission engine for file-backed I/O: "threadpool" (portable
+  // preadv/pwritev) or "uring" (io_uring; falls back to threadpool when the
+  // kernel lacks it). Registry-checked at parse time.
+  std::string io_engine = "threadpool";
 
   // -- storage layout: "lfs" (paper default), "ffs", or "guessing" ---------
   std::string layout = "lfs";

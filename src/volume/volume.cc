@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "system/component_registry.h"
 
@@ -27,14 +28,10 @@ struct FanoutJoin {
 
 // One member's share of a split request, run as its own scheduler thread so
 // the members seek and transfer concurrently.
-Task<> FragmentIo(BlockDevice* member, bool is_write, uint64_t sector, uint32_t count,
+Task<> FragmentIo(Volume* volume, bool is_write, const Volume::Fragment* f,
                   std::span<std::byte> out, std::span<const std::byte> in, Status* result,
                   FanoutJoin* join) {
-  if (is_write) {
-    *result = co_await member->Write(sector, count, in);
-  } else {
-    *result = co_await member->Read(sector, count, out);
-  }
+  *result = co_await volume->IoFragment(is_write, *f, out, in);
   if (--join->remaining == 0) {
     join->done.Signal();
   }
@@ -51,6 +48,88 @@ Volume::Volume(Scheduler* sched, std::string name, std::vector<BlockDevice*> mem
   }
   member_reads_.resize(members_.size());
   member_writes_.resize(members_.size());
+}
+
+Task<Status> Volume::IoFragment(bool is_write, const Fragment& f, std::span<std::byte> out,
+                                std::span<const std::byte> in) {
+  BlockDevice* member = members_[f.member];
+  const uint64_t bytes = static_cast<uint64_t>(f.count) * sector_bytes_;
+  if (f.segments.empty()) {
+    if (is_write) {
+      co_return co_await member->Write(f.sector, f.count, SubSpan(in, f.byte_offset, bytes));
+    }
+    co_return co_await member->Read(f.sector, f.count, SubSpan(out, f.byte_offset, bytes));
+  }
+  // Scattered caller-buffer segments (striping interleaves members in the
+  // logical address space). With no data to move — the simulated backend —
+  // the merged request just goes down with an empty span.
+  if (is_write ? in.empty() : out.empty()) {
+    if (is_write) {
+      co_return co_await member->Write(f.sector, f.count, {});
+    }
+    co_return co_await member->Read(f.sector, f.count, {});
+  }
+  std::vector<std::byte> bounce(static_cast<size_t>(bytes));
+  bounce_bytes_.Inc(bytes);
+  if (is_write) {
+    uint64_t off = 0;
+    for (const FragmentSegment& seg : f.segments) {
+      const uint64_t len = static_cast<uint64_t>(seg.count) * sector_bytes_;
+      std::memcpy(bounce.data() + off, in.data() + seg.byte_offset, len);
+      off += len;
+    }
+    co_return co_await member->Write(f.sector, f.count, bounce);
+  }
+  const Status status = co_await member->Read(f.sector, f.count, bounce);
+  if (status.ok()) {
+    uint64_t off = 0;
+    for (const FragmentSegment& seg : f.segments) {
+      const uint64_t len = static_cast<uint64_t>(seg.count) * sector_bytes_;
+      std::memcpy(out.data() + seg.byte_offset, bounce.data() + off, len);
+      off += len;
+    }
+  }
+  co_return status;
+}
+
+std::vector<Volume::Fragment> Volume::CoalesceFragments(std::vector<Fragment> fragments) {
+  if (!coalesce_ || fragments.size() < 2) {
+    return fragments;
+  }
+  std::vector<Fragment> out;
+  out.reserve(fragments.size());
+  // Where each member's growing fragment sits in `out`; merging only with
+  // the member's latest fragment keeps device order within the member.
+  std::vector<ptrdiff_t> last(members_.size(), -1);
+  for (Fragment& piece : fragments) {
+    const ptrdiff_t idx = last[piece.member];
+    if (idx >= 0 && out[static_cast<size_t>(idx)].sector +
+                            out[static_cast<size_t>(idx)].count == piece.sector) {
+      Fragment& f = out[static_cast<size_t>(idx)];
+      if (f.segments.empty() &&
+          f.byte_offset + static_cast<uint64_t>(f.count) * sector_bytes_ ==
+              piece.byte_offset) {
+        f.count += piece.count;  // contiguous in the caller's buffer too
+      } else {
+        if (f.segments.empty()) {
+          f.segments.push_back({f.byte_offset, f.count});
+        }
+        FragmentSegment& back = f.segments.back();
+        if (back.byte_offset + static_cast<uint64_t>(back.count) * sector_bytes_ ==
+            piece.byte_offset) {
+          back.count += piece.count;
+        } else {
+          f.segments.push_back({piece.byte_offset, piece.count});
+        }
+        f.count += piece.count;
+      }
+      coalesced_.Inc();
+      continue;
+    }
+    last[piece.member] = static_cast<ptrdiff_t>(out.size());
+    out.push_back(std::move(piece));
+  }
+  return out;
 }
 
 Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
@@ -75,26 +154,20 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
     co_return OkStatus();
   }
   if (fragments.size() == 1) {
-    const Fragment& f = fragments[0];
-    const uint64_t bytes = static_cast<uint64_t>(f.count) * sector_bytes_;
-    Status status;
-    if (is_write) {
-      status = co_await members_[f.member]->Write(f.sector, f.count,
-                                                  SubSpan(in, f.byte_offset, bytes));
-    } else {
-      status = co_await members_[f.member]->Read(f.sector, f.count,
-                                                 SubSpan(out, f.byte_offset, bytes));
-    }
+    const Status status = co_await IoFragment(is_write, fragments[0], out, in);
     if (per_fragment != nullptr) {
       per_fragment->assign(1, status);
     }
     co_return status;
   }
   // "Split" means partitioned into distinct address pieces — a mirror's
-  // whole-range replica writes fan out without splitting anything.
-  for (size_t i = 1; i < fragments.size(); ++i) {
-    if (fragments[i].sector != fragments[0].sector ||
-        fragments[i].count != fragments[0].count) {
+  // whole-range replica writes fan out without splitting anything. A
+  // coalesced striped fragment can carry the same member-local sector and
+  // count as its siblings, but its segment list marks it as a partition.
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    if (!fragments[i].segments.empty() ||
+        (i > 0 && (fragments[i].sector != fragments[0].sector ||
+                   fragments[i].count != fragments[0].count))) {
       split_requests_.Inc();
       break;
     }
@@ -102,13 +175,8 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
   std::vector<Status> results(fragments.size(), Status(ErrorCode::kAborted));
   FanoutJoin join(sched_, fragments.size());
   for (size_t i = 0; i < fragments.size(); ++i) {
-    const Fragment& f = fragments[i];
-    const uint64_t bytes = static_cast<uint64_t>(f.count) * sector_bytes_;
-    sched_->SpawnTransient(name_ + ".io",
-                           FragmentIo(members_[f.member], is_write, f.sector, f.count,
-                                      SubSpan(out, f.byte_offset, bytes),
-                                      SubSpan(in, f.byte_offset, bytes), &results[i],
-                                      &join));
+    sched_->SpawnTransient(
+        name_ + ".io", FragmentIo(this, is_write, &fragments[i], out, in, &results[i], &join));
   }
   while (join.remaining > 0) {
     co_await join.done.Wait();
@@ -128,10 +196,13 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
 std::string Volume::StatReport(bool with_histograms) const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "kind=%s members=%zu sectors=%llu requests=%llu split=%llu\nfan-out: %s\n",
+                "kind=%s members=%zu sectors=%llu requests=%llu split=%llu "
+                "coalesced=%llu bounce=%lluB\nfan-out: %s\n",
                 kind(), members_.size(), static_cast<unsigned long long>(total_sectors()),
                 static_cast<unsigned long long>(requests_.value()),
                 static_cast<unsigned long long>(split_requests_.value()),
+                static_cast<unsigned long long>(coalesced_.value()),
+                static_cast<unsigned long long>(bounce_bytes_.value()),
                 fanout_.Summary().c_str());
   std::string out(buf);
   for (size_t i = 0; i < members_.size(); ++i) {
@@ -147,7 +218,7 @@ std::string Volume::StatReport(bool with_histograms) const {
 }
 
 std::string Volume::StatJson() const {
-  char buf[160];
+  char buf[256];
   std::string out = "{\"kind\":\"";
   out += kind();
   out += "\",\"members\":[";
@@ -158,9 +229,12 @@ std::string Volume::StatJson() const {
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "],\"requests\":%llu,\"split_requests\":%llu,\"fanout_mean\":%.3f}",
+                "],\"requests\":%llu,\"split_requests\":%llu,\"coalesced\":%llu,"
+                "\"bounce_bytes\":%llu,\"fanout_mean\":%.3f}",
                 static_cast<unsigned long long>(requests_.value()),
-                static_cast<unsigned long long>(split_requests_.value()), fanout_.mean());
+                static_cast<unsigned long long>(split_requests_.value()),
+                static_cast<unsigned long long>(coalesced_.value()),
+                static_cast<unsigned long long>(bounce_bytes_.value()), fanout_.mean());
   out += buf;
   return out;
 }
@@ -230,7 +304,7 @@ ConcatVolume::ConcatVolume(Scheduler* sched, std::string name,
   }
 }
 
-std::vector<Volume::Fragment> ConcatVolume::Map(uint64_t sector, uint32_t count) const {
+std::vector<Volume::Fragment> ConcatVolume::Map(uint64_t sector, uint32_t count) {
   PFS_CHECK(sector + count <= total_);
   std::vector<Fragment> fragments;
   size_t m = 0;
@@ -243,13 +317,13 @@ std::vector<Volume::Fragment> ConcatVolume::Map(uint64_t sector, uint32_t count)
     const uint64_t local = sector - member_start_[m];
     const uint64_t avail = members_[m]->total_sectors() - local;
     const uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(remaining, avail));
-    fragments.push_back({m, local, n, byte_offset});
+    fragments.push_back({m, local, n, byte_offset, {}});
     sector += n;
     remaining -= n;
     byte_offset += static_cast<uint64_t>(n) * sector_bytes_;
     ++m;
   }
-  return fragments;
+  return CoalesceFragments(std::move(fragments));
 }
 
 Task<Status> ConcatVolume::Read(uint64_t sector, uint32_t count, std::span<std::byte> out) {
@@ -291,7 +365,7 @@ std::pair<size_t, uint64_t> StripedVolume::MapSector(uint64_t sector) const {
   return {member, member_unit * unit_ + sector % unit_};
 }
 
-std::vector<Volume::Fragment> StripedVolume::Map(uint64_t sector, uint32_t count) const {
+std::vector<Volume::Fragment> StripedVolume::Map(uint64_t sector, uint32_t count) {
   PFS_CHECK(sector + count <= total_);
   std::vector<Fragment> fragments;
   uint64_t byte_offset = 0;
@@ -300,12 +374,12 @@ std::vector<Volume::Fragment> StripedVolume::Map(uint64_t sector, uint32_t count
     const auto [member, member_sector] = MapSector(sector);
     const uint32_t in_unit = static_cast<uint32_t>(sector % unit_);
     const uint32_t n = std::min(remaining, unit_ - in_unit);
-    fragments.push_back({member, member_sector, n, byte_offset});
+    fragments.push_back({member, member_sector, n, byte_offset, {}});
     sector += n;
     remaining -= n;
     byte_offset += static_cast<uint64_t>(n) * sector_bytes_;
   }
-  return fragments;
+  return CoalesceFragments(std::move(fragments));
 }
 
 Task<Status> StripedVolume::Read(uint64_t sector, uint32_t count, std::span<std::byte> out) {
@@ -533,7 +607,7 @@ Task<Status> MirrorVolume::Write(uint64_t sector, uint32_t count,
   std::vector<size_t> skipped;  // failed at issue: they will miss this write
   for (size_t m = 0; m < members_.size(); ++m) {
     if (!failed_[m]) {
-      fragments.push_back({m, sector, count, 0});
+      fragments.push_back({m, sector, count, 0, {}});
     } else {
       skipped.push_back(m);
     }

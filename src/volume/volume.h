@@ -49,16 +49,53 @@ class Volume : public BlockDevice, public StatSource {
   uint64_t member_reads(size_t i) const { return member_reads_[i].value(); }
   uint64_t member_writes(size_t i) const { return member_writes_[i].value(); }
   const Histogram& fanout_width() const { return fanout_; }
+  uint64_t coalesced_fragments() const { return coalesced_.value(); }
+  uint64_t bounce_bytes() const { return bounce_bytes_.value(); }
 
- protected:
+  // Fragment coalescing (on by default): merge adjacent same-member pieces
+  // of a mapped request so each member sees at most one contiguous request
+  // per call. Off reproduces the historical one-fragment-per-crossing
+  // behavior — benches and tests use it to compare the two paths.
+  void set_coalesce(bool on) { coalesce_ = on; }
+  bool coalesce() const { return coalesce_; }
+
+  // One caller-buffer segment of a coalesced fragment: `count` sectors of
+  // device data starting `byte_offset` bytes into the request's span.
+  struct FragmentSegment {
+    uint64_t byte_offset;
+    uint32_t count;
+  };
+
   // One member-local piece of a logical request. `byte_offset` locates the
-  // piece in the request's (possibly empty) data span.
+  // piece in the request's (possibly empty) data span. When coalescing
+  // merged pieces whose buffer positions are not contiguous (striping
+  // interleaves members), `segments` lists the caller-buffer segments in
+  // device order and the I/O goes through a bounce buffer; empty `segments`
+  // means the piece is contiguous at `byte_offset`. Public for the
+  // address-mapping tests (like StripedVolume::MapSector).
   struct Fragment {
     size_t member;
     uint64_t sector;  // member-local address
     uint32_t count;
     uint64_t byte_offset;
+    std::vector<FragmentSegment> segments;
   };
+
+  // One fragment's member I/O: a plain member Read/Write for a contiguous
+  // fragment; a segmented one gathers (write) or scatters (read) through a
+  // per-request bounce buffer, so the member still sees one contiguous
+  // request. Empty caller spans skip the bounce (the simulated backend
+  // moves no bytes). Public for the coalescing tests; RunFragments' fan-out
+  // workers use it.
+  Task<Status> IoFragment(bool is_write, const Fragment& f, std::span<std::byte> out,
+                          std::span<const std::byte> in);
+
+ protected:
+  // Merges adjacent same-member, member-contiguous pieces of `fragments`
+  // (which must be in caller-buffer order) and counts the merges. Pieces
+  // whose buffer positions touch merge in place; strided pieces accumulate
+  // segments for the bounce path. No-op when set_coalesce(false).
+  std::vector<Fragment> CoalesceFragments(std::vector<Fragment> fragments);
 
   // Performs the fragments and joins: a lone fragment runs inline on the
   // calling thread; several are spawned as transient scheduler threads so
@@ -78,6 +115,9 @@ class Volume : public BlockDevice, public StatSource {
 
   Counter requests_;
   Counter split_requests_;  // requests split across distinct address ranges
+  Counter coalesced_;       // fragments merged away by coalescing
+  Counter bounce_bytes_;    // bytes gathered/scattered through bounce buffers
+  bool coalesce_ = true;
   std::vector<Counter> member_reads_;
   std::vector<Counter> member_writes_;
   Histogram fanout_{0, 16, 16};  // distinct members touched per request
@@ -119,9 +159,11 @@ class ConcatVolume final : public Volume {
   Task<Status> Write(uint64_t sector, uint32_t count, std::span<const std::byte> in) override;
   uint64_t total_sectors() const override { return total_; }
 
- private:
-  std::vector<Fragment> Map(uint64_t sector, uint32_t count) const;
+  // The member-local fragments a request maps (and, with coalescing on,
+  // merges) to — exposed for the coalescing tests; Read/Write use it.
+  std::vector<Fragment> Map(uint64_t sector, uint32_t count);
 
+ private:
   std::vector<uint64_t> member_start_;  // logical sector where member i begins
   uint64_t total_ = 0;
 };
@@ -150,9 +192,14 @@ class StripedVolume final : public Volume {
   // tests; Read/Write use the same arithmetic).
   std::pair<size_t, uint64_t> MapSector(uint64_t sector) const;
 
- private:
-  std::vector<Fragment> Map(uint64_t sector, uint32_t count) const;
+  // The member-local fragments a request maps to: one per stripe-unit
+  // crossing without coalescing; with it, merged so each member appears at
+  // most once (consecutive logical units on a member are member-contiguous,
+  // their buffer positions strided — hence Fragment::segments). Exposed for
+  // the coalescing tests; Read/Write use it.
+  std::vector<Fragment> Map(uint64_t sector, uint32_t count);
 
+ private:
   uint32_t unit_;
   uint64_t total_ = 0;
 };

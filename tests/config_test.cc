@@ -62,6 +62,7 @@ TEST(ConfigRoundTripTest, EveryFieldSurvives) {
   config.image_bytes = 24 * kMiB + 512;
   config.format = false;
   config.io_threads = 7;
+  config.io_engine = "uring";
   config.layout = "ffs";
   config.cleaner = "cost-benefit";
   config.lfs_segment_blocks = 64;
@@ -194,6 +195,36 @@ TEST(ConfigParseTest, RejectsUnknownComponentNamesListingAlternatives) {
   auto model = SystemConfig::Parse("topology.disk_model = IBM350\n");
   ASSERT_FALSE(model.ok());
   EXPECT_NE(model.status().message().find("HP97560"), std::string::npos);
+
+  auto engine = SystemConfig::Parse("system.io_engine = epoll\n");
+  ASSERT_FALSE(engine.ok());
+  for (const char* registered : {"threadpool", "uring"}) {
+    EXPECT_NE(engine.status().message().find(registered), std::string::npos)
+        << engine.status().ToString();
+  }
+  EXPECT_NE(engine.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ConfigParseTest, IoKeysRoundTripAndAliasIsDetectedAsDuplicate) {
+  // The canonical spelling round-trips through ToString.
+  auto parsed = SystemConfig::Parse("system.io_threads = 5\nsystem.io_engine = uring\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->io_threads, 5);
+  EXPECT_EQ(parsed->io_engine, "uring");
+  EXPECT_NE(parsed->ToString().find("system.io_threads = 5"), std::string::npos);
+  EXPECT_NE(parsed->ToString().find("system.io_engine = uring"), std::string::npos);
+
+  // The legacy spelling still parses...
+  auto legacy = SystemConfig::Parse("image.io_threads = 3\n");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->io_threads, 3);
+
+  // ...but setting the same knob under both names is a duplicate-key error.
+  auto dup = SystemConfig::Parse("system.io_threads = 3\nimage.io_threads = 4\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos)
+      << dup.status().ToString();
+  EXPECT_NE(dup.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(ConfigParseTest, RejectsMalformedInput) {

@@ -357,6 +357,163 @@ TEST(VolumeFanoutTest, TransientWorkersAreReclaimed) {
   EXPECT_LE(sched->thread_record_count(), static_cast<size_t>(kOps) + 4);
 }
 
+TEST(StripedVolumeTest, MapCoalescesAdjacentUnitsPerMember) {
+  // 16 sectors over 2 members at 4-sector units = 4 units, 2 per member.
+  // Each member's units are member-contiguous, so coalescing folds the 4
+  // fragments into 2 — one per member — with caller-buffer segments.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b}, 4);
+
+  auto fragments = vol.Map(0, 16);
+  ASSERT_EQ(fragments.size(), 2u);
+  EXPECT_EQ(fragments[0].member, 0u);
+  EXPECT_EQ(fragments[0].sector, 0u);
+  EXPECT_EQ(fragments[0].count, 8u);
+  ASSERT_EQ(fragments[0].segments.size(), 2u);
+  EXPECT_EQ(fragments[0].segments[0].byte_offset, 0u);
+  EXPECT_EQ(fragments[0].segments[0].count, 4u);
+  EXPECT_EQ(fragments[0].segments[1].byte_offset, 8 * kSector);  // unit 2
+  EXPECT_EQ(fragments[0].segments[1].count, 4u);
+  EXPECT_EQ(fragments[1].member, 1u);
+  EXPECT_EQ(fragments[1].sector, 0u);
+  EXPECT_EQ(fragments[1].count, 8u);
+  ASSERT_EQ(fragments[1].segments.size(), 2u);
+  EXPECT_EQ(fragments[1].segments[0].byte_offset, 4 * kSector);  // unit 1
+  EXPECT_EQ(fragments[1].segments[1].byte_offset, 12 * kSector);  // unit 3
+}
+
+TEST(StripedVolumeTest, MapSingleSectorStaysSingleFragment) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b}, 4);
+
+  auto fragments = vol.Map(5, 1);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].member, 1u);
+  EXPECT_EQ(fragments[0].sector, 1u);
+  EXPECT_EQ(fragments[0].count, 1u);
+  EXPECT_TRUE(fragments[0].segments.empty());  // contiguous, no bounce needed
+  EXPECT_EQ(vol.coalesced_fragments(), 0u);
+}
+
+TEST(StripedVolumeTest, MapWrapsAcrossAllMembersAtExactUnitMultiples) {
+  // 12 sectors over 3 members at 2-sector units = 6 units, exactly 2 per
+  // member; every member's pair of units merges into one fragment.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  MemDevice c(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b, &c}, 2);
+
+  auto fragments = vol.Map(0, 12);
+  ASSERT_EQ(fragments.size(), 3u);
+  for (size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(fragments[m].member, m);
+    EXPECT_EQ(fragments[m].sector, 0u);
+    EXPECT_EQ(fragments[m].count, 4u);
+    ASSERT_EQ(fragments[m].segments.size(), 2u);
+    EXPECT_EQ(fragments[m].segments[0].byte_offset, m * 2 * kSector);
+    EXPECT_EQ(fragments[m].segments[1].byte_offset, (m + 3) * 2 * kSector);
+  }
+  EXPECT_EQ(vol.coalesced_fragments(), 3u);  // 6 fragments merged down to 3
+}
+
+TEST(StripedVolumeTest, CoalescingSendsOneRequestPerMember) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b}, 4);
+
+  // 16 sectors = 2 units per member: one gathered write per member, one
+  // scattered read per member, and the pattern survives the bounce buffer.
+  auto data = Pattern(16, 11);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 16, data)).ok());
+  EXPECT_EQ(a.writes, 1);
+  EXPECT_EQ(b.writes, 1);
+  for (uint64_t s = 0; s < 16; ++s) {
+    const auto [member, member_sector] = vol.MapSector(s);
+    const MemDevice& dev = member == 0 ? a : b;
+    EXPECT_EQ(dev.at(member_sector, 0), data[s * kSector]) << "sector " << s;
+    EXPECT_EQ(dev.at(member_sector, kSector - 1), data[s * kSector + kSector - 1]);
+  }
+
+  std::vector<std::byte> back(16 * kSector);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Read(0, 16, back)).ok());
+  EXPECT_EQ(a.reads, 1);
+  EXPECT_EQ(b.reads, 1);
+  EXPECT_EQ(back, data);
+  EXPECT_GT(vol.coalesced_fragments(), 0u);
+  EXPECT_EQ(vol.bounce_bytes(), 2u * 16 * kSector);  // both directions bounced
+}
+
+TEST(StripedVolumeTest, CoalescingOffMatchesCoalescingOn) {
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  StripedVolume on(sched.get(), "on", {&a, &b}, 4);
+  MemDevice c(16);
+  MemDevice d(16);
+  StripedVolume off(sched.get(), "off", {&c, &d}, 4);
+  off.set_coalesce(false);
+
+  auto data = Pattern(16, 13);
+  ASSERT_TRUE(RunIo(sched.get(), on.Write(0, 16, data)).ok());
+  ASSERT_TRUE(RunIo(sched.get(), off.Write(0, 16, data)).ok());
+
+  // Same bytes in the same member sectors, different request counts: the
+  // uncoalesced volume sent one request per stripe unit.
+  for (uint64_t s = 0; s < 16; ++s) {
+    const auto [member, member_sector] = on.MapSector(s);
+    const MemDevice& dev_on = member == 0 ? a : b;
+    const MemDevice& dev_off = member == 0 ? c : d;
+    EXPECT_EQ(dev_on.at(member_sector, 0), dev_off.at(member_sector, 0));
+  }
+  EXPECT_EQ(a.writes + b.writes, 2);
+  EXPECT_EQ(c.writes + d.writes, 4);
+  EXPECT_EQ(off.coalesced_fragments(), 0u);
+  EXPECT_EQ(off.bounce_bytes(), 0u);
+
+  std::vector<std::byte> back_on(16 * kSector);
+  std::vector<std::byte> back_off(16 * kSector);
+  ASSERT_TRUE(RunIo(sched.get(), on.Read(0, 16, back_on)).ok());
+  ASSERT_TRUE(RunIo(sched.get(), off.Read(0, 16, back_off)).ok());
+  EXPECT_EQ(back_on, data);
+  EXPECT_EQ(back_off, data);
+}
+
+TEST(StripedVolumeTest, CoalescedEmptySpansSkipTheBounce) {
+  // Simulated mode: empty caller spans coalesce (fewer member requests) but
+  // never allocate a bounce buffer — no real bytes move.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(16);
+  MemDevice b(16);
+  StripedVolume vol(sched.get(), "v", {&a, &b}, 4);
+  ASSERT_TRUE(RunIo(sched.get(), vol.Write(0, 16, {})).ok());
+  EXPECT_EQ(a.writes, 1);
+  EXPECT_EQ(b.writes, 1);
+  EXPECT_GT(vol.coalesced_fragments(), 0u);
+  EXPECT_EQ(vol.bounce_bytes(), 0u);
+}
+
+TEST(ConcatVolumeTest, MapDoesNotMergeAcrossMembers) {
+  // Concat fragments on different members stay separate; within one member a
+  // run is already contiguous, so nothing needs merging either.
+  auto sched = Scheduler::CreateVirtual(1);
+  MemDevice a(8);
+  MemDevice b(8);
+  ConcatVolume vol(sched.get(), "v", {&a, &b});
+  auto fragments = vol.Map(6, 4);
+  ASSERT_EQ(fragments.size(), 2u);
+  EXPECT_EQ(fragments[0].member, 0u);
+  EXPECT_EQ(fragments[1].member, 1u);
+  EXPECT_TRUE(fragments[0].segments.empty());
+  EXPECT_TRUE(fragments[1].segments.empty());
+  EXPECT_EQ(vol.coalesced_fragments(), 0u);
+}
+
 TEST(VolumeStatsTest, ReportAndJson) {
   auto sched = Scheduler::CreateVirtual(1);
   MemDevice a(16);

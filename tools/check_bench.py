@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare BENCH_*.json runs against a committed baseline.
+
+The bench binaries append one JSON object per result line to BENCH_<name>.json
+(`--json`). The baseline file lists checks, each naming a bench file, a match
+filter selecting one line, a dotted metric path, the expected value, the
+direction that counts as a regression, and a per-check tolerance:
+
+  deterministic simulated metrics use the default 0.15;
+  wall-clock metrics carry a wider, explicitly stored tolerance (or are
+  omitted entirely) because they depend on the host.
+
+Usage:
+  python3 tools/check_bench.py --baseline bench/baselines/BENCH_baseline.json [--dir DIR]
+  python3 tools/check_bench.py --baseline ... --update   # rewrite expectations
+
+Exit status: 0 = every check within tolerance, 1 = regression or missing data.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.15
+
+
+def load_lines(path):
+    """Returns the list of JSON objects in a one-object-per-line bench file."""
+    lines = []
+    with open(path) as f:
+        for raw in f:
+            raw = raw.strip()
+            if raw:
+                lines.append(json.loads(raw))
+    return lines
+
+
+def dig(obj, dotted):
+    """Looks up a dotted path ("volume.coalesced") in nested dicts."""
+    for part in dotted.split("."):
+        if not isinstance(obj, dict) or part not in obj:
+            return None
+        obj = obj[part]
+    return obj
+
+
+def find_line(lines, match):
+    """Returns the unique line whose fields equal every pair in `match`."""
+    hits = [ln for ln in lines if all(dig(ln, k) == v for k, v in match.items())]
+    if len(hits) == 1:
+        return hits[0], None
+    if not hits:
+        return None, "no line matches %s" % json.dumps(match)
+    return None, "%d lines match %s" % (len(hits), json.dumps(match))
+
+
+def run_checks(baseline, bench_dir, update):
+    failures = []
+    cache = {}
+    for check in baseline["checks"]:
+        name = check["name"]
+        path = os.path.join(bench_dir, check["file"])
+        if path not in cache:
+            if not os.path.exists(path):
+                failures.append("%s: bench file %s not found" % (name, path))
+                continue
+            cache[path] = load_lines(path)
+        line, err = find_line(cache[path], check["match"])
+        if err:
+            failures.append("%s: %s" % (name, err))
+            continue
+        value = dig(line, check["metric"])
+        if not isinstance(value, (int, float)):
+            failures.append("%s: metric %s missing or non-numeric" % (name, check["metric"]))
+            continue
+        if update:
+            check["value"] = round(float(value), 4)
+            continue
+        expected = float(check["value"])
+        tolerance = float(check.get("tolerance", DEFAULT_TOLERANCE))
+        direction = check.get("direction", "higher")
+        if direction == "higher":
+            floor = expected * (1.0 - tolerance)
+            ok = value >= floor
+            bound = ">= %.4f" % floor
+        elif direction == "lower":
+            ceil = expected * (1.0 + tolerance)
+            ok = value <= ceil
+            bound = "<= %.4f" % ceil
+        else:
+            failures.append("%s: unknown direction %r" % (name, direction))
+            continue
+        status = "ok" if ok else "REGRESSION"
+        print("%-40s %s=%.4f (baseline %.4f, want %s) %s"
+              % (name, check["metric"], value, expected, bound, status))
+        if not ok:
+            failures.append("%s: %s=%.4f outside %s (baseline %.4f, tolerance %.0f%%)"
+                            % (name, check["metric"], value, bound, expected,
+                               tolerance * 100))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="baseline JSON file")
+    parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json runs")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline values from the current run files")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = run_checks(baseline, args.dir, args.update)
+
+    if args.update:
+        if failures:
+            for failure in failures:
+                print("ERROR:", failure, file=sys.stderr)
+            return 1
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print("baseline updated:", args.baseline)
+        return 0
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("all %d bench checks within tolerance" % len(baseline["checks"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
