@@ -11,7 +11,7 @@
 // column: reqs/batch > 1 whenever the queue is deeper than one.
 //
 // --json appends one line per point to BENCH_iops_ceiling.json (including
-// driver 0's StatJson: batches, reqs_per_batch, engine, submit_us_mean).
+// driver 0's StatJson: batches, reqs_per_batch, engine, submit_us percentiles).
 // --config <scenario> overrides io_threads / queue policy / image size.
 #include <cstdio>
 #include <unistd.h>

@@ -3,7 +3,12 @@
 // and print a one-screen summary. CTest and CI run every file in
 // examples/scenarios/ through this, so scenario files can never rot.
 //
-//   ./run_scenario <file.scenario> [--ops N] [--stats]
+//   ./run_scenario <file.scenario> [--ops N] [--files N] [--wscale BYTES]
+//                  [--stats] [--trace FILE]
+//
+// --trace FILE force-enables request tracing regardless of the scenario's
+// trace.* keys and exports the run as Chrome trace_event JSON to FILE (plus
+// the sampled stats time series to FILE's "-samples" sibling).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +28,12 @@ namespace {
 // fault schedule, the loop keeps generating traffic until the last event
 // has fired (so writes land inside the degraded window and accrue rebuild
 // debt), syncs, and then waits for the rebuild daemons to drain.
-Task<Status> Smoke(System* sys, int ops, uint64_t* done) {
+struct SmokeShape {
+  int files = 64;        // distinct file names per mount (--files)
+  uint64_t wscale = 2048;  // write-size step; op i writes 1024 + (i%8)*wscale (--wscale)
+};
+
+Task<Status> Smoke(System* sys, int ops, SmokeShape shape, uint64_t* done) {
   LocalClient* client = sys->client();
   FaultInjector* injector = sys->fault_injector();
   OpenOptions create;
@@ -31,10 +41,10 @@ Task<Status> Smoke(System* sys, int ops, uint64_t* done) {
   const int nfs = sys->filesystem_count();
   for (int i = 0; i < ops || (injector != nullptr && !injector->done()); ++i) {
     const std::string mount = "/" + sys->mount_name(i % nfs);
-    const std::string path = mount + "/smoke_" + std::to_string(i % 64);
+    const std::string path = mount + "/smoke_" + std::to_string(i % shape.files);
     auto fd = co_await client->Open(path, create);
     PFS_CO_RETURN_IF_ERROR(fd.status());
-    const uint64_t bytes = 1024 + static_cast<uint64_t>(i % 8) * 2048;
+    const uint64_t bytes = 1024 + static_cast<uint64_t>(i % 8) * shape.wscale;
     auto wrote = co_await client->Write(*fd, 0, bytes, {});
     PFS_CO_RETURN_IF_ERROR(wrote.status());
     auto read = co_await client->Read(*fd, 0, bytes, {});
@@ -42,6 +52,22 @@ Task<Status> Smoke(System* sys, int ops, uint64_t* done) {
     PFS_CO_RETURN_IF_ERROR(co_await client->Close(*fd));
     if (i % 16 == 15) {
       PFS_CO_RETURN_IF_ERROR(co_await client->Unlink(path));
+    }
+    // A cold read against the far side of the file set: once the live set
+    // outgrows the cache (a big --files/--wscale), these miss and pull
+    // blocks back up through the volumes — the read path's latency shows in
+    // stats and traces instead of pure cache hits.
+    if (i % 4 == 3) {
+      const std::string old_path =
+          mount + "/smoke_" + std::to_string((i + shape.files / 2) % shape.files);
+      auto old_fd = co_await client->Open(old_path, OpenOptions{});
+      if (old_fd.ok()) {
+        auto old_read = co_await client->Read(*old_fd, 0, 4096, {});
+        PFS_CO_RETURN_IF_ERROR(old_read.status());
+        PFS_CO_RETURN_IF_ERROR(co_await client->Close(*old_fd));
+      } else if (old_fd.status().code() != ErrorCode::kNotFound) {
+        co_return old_fd.status();
+      }
     }
     // Push dirty blocks through the volumes while members may be failed:
     // rebuild debt only accrues on flushed writes, not cache-resident ones.
@@ -69,6 +95,8 @@ int TotalDisks(const SystemConfig& config) {
 
 int main(int argc, char** argv) {
   std::string scenario_path;
+  std::string trace_file;
+  SmokeShape shape;
   int ops = 1000;
   bool with_stats = false;
   for (int i = 1; i < argc; ++i) {
@@ -76,12 +104,20 @@ int main(int argc, char** argv) {
       ops = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       with_stats = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
+      shape.files = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--wscale") == 0 && i + 1 < argc) {
+      shape.wscale = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else {
       scenario_path = argv[i];
     }
   }
-  if (scenario_path.empty() || ops < 1) {
-    std::fprintf(stderr, "usage: run_scenario <file.scenario> [--ops N] [--stats]\n");
+  if (scenario_path.empty() || ops < 1 || shape.files < 1 || shape.wscale < 1) {
+    std::fprintf(stderr,
+                 "usage: run_scenario <file.scenario> [--ops N] [--files N] [--wscale BYTES] "
+                 "[--stats] [--trace FILE]\n");
     return 2;
   }
 
@@ -91,6 +127,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   SystemConfig config = *loaded;
+  if (!trace_file.empty()) {
+    config.trace.enabled = true;
+    config.trace.file = trace_file;
+    if (config.trace.sample_ms == 0) {
+      config.trace.sample_ms = 20;  // time-series samples ride along by default
+    }
+  }
 
   // A private image path, so concurrent smoke runs of different scenarios
   // never collide on the file the scenario happens to name.
@@ -113,10 +156,10 @@ int main(int argc, char** argv) {
 
   uint64_t done = 0;
   Status result(ErrorCode::kAborted);
-  sys.scheduler()->Spawn("scenario.smoke", [](System* s, int n, uint64_t* d,
-                                              Status* out) -> Task<> {
-    *out = co_await Smoke(s, n, d);
-  }(&sys, ops, &done, &result));
+  sys.scheduler()->Spawn("scenario.smoke", [](System* s, int n, SmokeShape shape_in,
+                                              uint64_t* d, Status* out) -> Task<> {
+    *out = co_await Smoke(s, n, shape_in, d);
+  }(&sys, ops, shape, &done, &result));
   sys.scheduler()->Run();
 
   std::printf("scenario: %s\n", scenario_path.c_str());
@@ -147,6 +190,21 @@ int main(int argc, char** argv) {
   }
   if (with_stats) {
     std::printf("%s", sys.StatReport(false).c_str());
+  }
+  if (TraceSink* sink = sys.trace_sink(); sink != nullptr) {
+    sink->Drain();
+    std::printf("  trace: %zu span(s)", sink->span_count());
+    if (Status status = sys.ExportObservability(); !status.ok()) {
+      std::fprintf(stderr, "\ntrace export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (!config.trace.file.empty()) {
+      std::printf(" -> %s", config.trace.file.c_str());
+      if (sys.stats_sampler() != nullptr) {
+        std::printf(" (+%s)", TraceSamplesPath(config.trace.file).c_str());
+      }
+    }
+    std::printf("\n");
   }
 
   if (!config.simulated()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/log.h"
+#include "obs/trace.h"
 
 namespace pfs {
 
@@ -119,7 +120,16 @@ Task<Result<CacheBlock*>> BufferCache::GetBlock(const BlockId& id, GetMode mode)
     block->io_in_progress = true;
     ++block->pin_count;
     fills_.Inc();
+    const TimePoint fill_begin = sched_->Now();
     const Status status = co_await handler_it->second->FillBlock(id, block);
+    fill_latency_.Record(sched_->Now() - fill_begin);
+    {
+      const Thread* self = sched_->current_thread();
+      if (self != nullptr && self->trace.active()) {
+        RecordSpan(self->trace, TraceStage::kCacheFill, self->id(), fill_begin, sched_->Now(),
+                   config_.block_size);
+      }
+    }
     block->io_in_progress = false;
     --block->pin_count;
     if (!status.ok()) {
@@ -403,12 +413,39 @@ std::string BufferCache::StatReport(bool with_histograms) const {
                 static_cast<unsigned long long>(files_flushed_.value()),
                 static_cast<unsigned long long>(absorbed_.value()));
   std::string out(buf);
+  std::snprintf(buf, sizeof(buf), "fill latency: %s\n", fill_latency_.Summary().c_str());
+  out += buf;
   if (with_histograms) {
     out += "dirty-fraction histogram:\n" + dirty_fraction_.BucketDump();
   }
   return out;
 }
 
-void BufferCache::StatResetInterval() { dirty_fraction_.Reset(); }
+std::string BufferCache::StatJson() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"blocks\":%zu,\"free\":%zu,\"clean\":%zu,\"dirty\":%zu,"
+                "\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,\"fills\":%llu,"
+                "\"evictions\":%llu,\"blocks_flushed\":%llu,\"files_flushed\":%llu,"
+                "\"absorbed\":%llu,"
+                "\"fill_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f}}",
+                pool_.size(), free_.size(), clean_.size(), dirty_.size(),
+                static_cast<unsigned long long>(hits_.value()),
+                static_cast<unsigned long long>(misses_.value()), HitRate(),
+                static_cast<unsigned long long>(fills_.value()),
+                static_cast<unsigned long long>(evictions_.value()),
+                static_cast<unsigned long long>(blocks_flushed_.value()),
+                static_cast<unsigned long long>(files_flushed_.value()),
+                static_cast<unsigned long long>(absorbed_.value()),
+                fill_latency_.mean().ToMillisF(), fill_latency_.Percentile(0.5).ToMillisF(),
+                fill_latency_.Percentile(0.95).ToMillisF(),
+                fill_latency_.Percentile(0.99).ToMillisF());
+  return buf;
+}
+
+void BufferCache::StatResetInterval() {
+  dirty_fraction_.Reset();
+  fill_latency_.Reset();
+}
 
 }  // namespace pfs

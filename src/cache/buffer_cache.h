@@ -132,9 +132,11 @@ class BufferCache : public StatSource {
   // StatSource
   std::string stat_name() const override { return "cache"; }
   std::string StatReport(bool with_histograms) const override;
+  std::string StatJson() const override;
   void StatResetInterval() override;
 
   uint64_t hits() const { return hits_.value(); }
+  const LatencyHistogram& fill_latency() const { return fill_latency_; }
   uint64_t misses() const { return misses_.value(); }
   double HitRate() const;
   uint64_t blocks_flushed() const { return blocks_flushed_.value(); }
@@ -177,6 +179,7 @@ class BufferCache : public StatSource {
   Counter files_flushed_;
   Counter absorbed_;
   Histogram dirty_fraction_{0, 1.0, 50};  // sampled at each MarkDirty
+  LatencyHistogram fill_latency_;         // miss-fill service time
 };
 
 }  // namespace pfs

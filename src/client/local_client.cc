@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace pfs {
 namespace {
 
@@ -87,7 +89,38 @@ Task<Result<std::pair<LocalClient::Mount*, DirEntry>>> LocalClient::ResolveExist
   co_return std::make_pair(r.mount, *entry_or);
 }
 
+LocalClient::OpTrace LocalClient::TraceBegin() {
+  OpTrace t;
+  if (tracer_ == nullptr) {
+    return t;
+  }
+  Thread* self = sched_->current_thread();
+  if (self == nullptr) {
+    return t;
+  }
+  t.self = self;
+  t.saved = self->trace;
+  self->trace = tracer_->StartTrace();
+  t.begin = sched_->Now();
+  return t;
+}
+
+void LocalClient::TraceEnd(const OpTrace& t, uint64_t arg) {
+  if (t.self == nullptr) {
+    return;
+  }
+  RecordSpan(t.self->trace, TraceStage::kClient, t.self->id(), t.begin, sched_->Now(), arg);
+  t.self->trace = t.saved;
+}
+
 Task<Result<Fd>> LocalClient::Open(const std::string& path, OpenOptions options) {
+  const OpTrace t = TraceBegin();
+  Result<Fd> result = co_await OpenImpl(path, options);
+  TraceEnd(t, 0);
+  co_return result;
+}
+
+Task<Result<Fd>> LocalClient::OpenImpl(const std::string& path, OpenOptions options) {
   PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
   uint64_t ino = 0;
   if (r.leaf.empty()) {
@@ -149,8 +182,11 @@ Task<Result<uint64_t>> LocalClient::Read(Fd fd, uint64_t offset, uint64_t len,
   }
   File* file = it->second.mount->table->Get(it->second.ino);
   PFS_CHECK(file != nullptr);
+  const OpTrace t = TraceBegin();
   co_await it->second.mount->fs->mover()->ChargeOpCost();
-  co_return co_await file->Read(offset, len, out);
+  Result<uint64_t> result = co_await file->Read(offset, len, out);
+  TraceEnd(t, len);
+  co_return result;
 }
 
 Task<Result<uint64_t>> LocalClient::Write(Fd fd, uint64_t offset, uint64_t len,
@@ -161,8 +197,11 @@ Task<Result<uint64_t>> LocalClient::Write(Fd fd, uint64_t offset, uint64_t len,
   }
   File* file = it->second.mount->table->Get(it->second.ino);
   PFS_CHECK(file != nullptr);
+  const OpTrace t = TraceBegin();
   co_await it->second.mount->fs->mover()->ChargeOpCost();
-  co_return co_await file->Write(offset, len, in);
+  Result<uint64_t> result = co_await file->Write(offset, len, in);
+  TraceEnd(t, len);
+  co_return result;
 }
 
 Task<Status> LocalClient::Truncate(Fd fd, uint64_t new_size) {
@@ -182,7 +221,10 @@ Task<Status> LocalClient::Fsync(Fd fd) {
   }
   File* file = it->second.mount->table->Get(it->second.ino);
   PFS_CHECK(file != nullptr);
-  co_return co_await file->Flush();
+  const OpTrace t = TraceBegin();
+  Status status = co_await file->Flush();
+  TraceEnd(t, 0);
+  co_return status;
 }
 
 Task<Result<FileAttrs>> LocalClient::FStat(Fd fd) {
@@ -350,6 +392,16 @@ Task<Result<std::string>> LocalClient::ReadLink(const std::string& path) {
 }
 
 Task<Status> LocalClient::SyncAll() {
+  // A trace root like Open/Read/Write: the flush I/O below runs inline on
+  // this coroutine, so the write-back path (volume fan-out, driver batches)
+  // shows up in traces even when the cache absorbed every foreground write.
+  const OpTrace t = TraceBegin();
+  Status status = co_await SyncAllImpl();
+  TraceEnd(t, 0);
+  co_return status;
+}
+
+Task<Status> LocalClient::SyncAllImpl() {
   BufferCache* cache = nullptr;
   for (auto& [name, mount] : mounts_) {
     if (cache != mount.fs->cache()) {

@@ -16,8 +16,11 @@
 #include "client/client_interface.h"
 #include "fs/file_system.h"
 #include "fs/file_table.h"
+#include "obs/trace_context.h"
 
 namespace pfs {
+
+class TraceRecorder;
 
 class LocalClient final : public ClientInterface {
  public:
@@ -26,6 +29,11 @@ class LocalClient final : public ClientInterface {
   // Mounts `fs` under "/<name>". The file system must be formatted/mounted
   // at the layout level already.
   void AddMount(const std::string& name, FileSystem* fs);
+
+  // Enables request tracing (obs/): Open/Read/Write/Fsync/SyncAll become
+  // trace roots — a fresh trace id rides the calling thread for the life of
+  // the operation, so every stage below attributes its spans to it.
+  void set_trace_recorder(TraceRecorder* recorder) { tracer_ = recorder; }
 
   // ClientInterface
   Task<Result<Fd>> Open(const std::string& path, OpenOptions options) override;
@@ -73,7 +81,23 @@ class LocalClient final : public ClientInterface {
 
   static FileAttrs AttrsOf(const File& file);
 
+  // Root-span bracket. TraceBegin saves the thread's context and installs a
+  // fresh trace id; TraceEnd records the client.op span and restores it.
+  // Explicit (not RAII) so the end stamp lands before co_return, not at
+  // frame destruction.
+  struct OpTrace {
+    Thread* self = nullptr;  // null: tracing off for this op
+    TraceContext saved;
+    TimePoint begin;
+  };
+  OpTrace TraceBegin();
+  void TraceEnd(const OpTrace& t, uint64_t arg);
+
+  Task<Result<Fd>> OpenImpl(const std::string& path, OpenOptions options);
+  Task<Status> SyncAllImpl();
+
   Scheduler* sched_;
+  TraceRecorder* tracer_ = nullptr;
   std::map<std::string, Mount> mounts_;
   std::map<Fd, OpenFile> open_files_;
   Fd next_fd_ = 3;

@@ -1,0 +1,48 @@
+// A small strict JSON parser for validating the hand-assembled StatJson()
+// strings and the bench/observability outputs (core/serializer is the
+// *binary* wire format; it cannot check JSON). Strictness is the point:
+// trailing commas, duplicate object keys, bare values after the document,
+// NaN/Infinity — anything snprintf-assembled JSON can get wrong — are
+// errors that name the byte offset.
+#ifndef PFS_CORE_JSON_H_
+#define PFS_CORE_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+
+namespace pfs {
+
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // source order
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; nullptr if absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Dotted-path lookup through nested objects: "driver.latency_ms.p99".
+  const JsonValue* FindPath(const std::string& dotted) const;
+};
+
+// Parses exactly one JSON document (surrounding whitespace allowed).
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace pfs
+
+#endif  // PFS_CORE_JSON_H_

@@ -12,6 +12,7 @@
 #include <span>
 
 #include "core/status.h"
+#include "obs/trace_context.h"
 #include "sched/event.h"
 #include "sched/time.h"
 
@@ -44,6 +45,10 @@ struct IoRequest {
   Duration seek_time;       // mechanical breakdown, for the stats plug-ins
   Duration rotational_delay;
   bool served_from_disk_cache = false;
+
+  // Identity of the client operation this request serves (obs/); empty when
+  // tracing is off or the request comes from a background daemon.
+  TraceContext trace;
 
   Status result;
   Notification done;

@@ -88,9 +88,12 @@ std::string FileBackedDriver::StatReport(bool with_histograms) const {
 std::string FileBackedDriver::StatJson() const {
   std::string out = QueueingDiskDriver::StatJson();
   out.pop_back();  // extend the base object in place
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), ",\"engine\":\"%s\",\"submit_us_mean\":%.1f}",
-                engine_name(), submit_us_.mean());
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                ",\"engine\":\"%s\",\"submit_us\":{\"mean\":%.1f,\"p50\":%.1f,\"p95\":%.1f,"
+                "\"p99\":%.1f}}",
+                engine_name(), submit_us_.mean(), submit_us_.Percentile(0.5),
+                submit_us_.Percentile(0.95), submit_us_.Percentile(0.99));
   return out + buf;
 }
 

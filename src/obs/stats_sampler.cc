@@ -1,0 +1,64 @@
+#include "obs/stats_sampler.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "core/check.h"
+
+namespace pfs {
+
+StatsSampler::StatsSampler(Scheduler* sched, StatsRegistry* stats, Duration interval)
+    : sched_(sched), stats_(stats), interval_(interval) {
+  PFS_CHECK(sched != nullptr);
+  PFS_CHECK(stats != nullptr);
+  PFS_CHECK(interval > Duration());
+}
+
+void StatsSampler::Start() {
+  PFS_CHECK_MSG(!started_, "StatsSampler started twice");
+  started_ = true;
+  sched_->SpawnTransientDaemon("obs.stats_sampler", Loop());
+}
+
+Task<> StatsSampler::Loop() {
+  for (;;) {
+    co_await sched_->Sleep(interval_);
+    SampleNow();
+  }
+}
+
+void StatsSampler::SampleNow() {
+  samples_.push_back(Sample{static_cast<double>(sched_->Now().nanos()) / 1e6,
+                            stats_->ReportJson()});
+}
+
+std::string StatsSampler::SeriesJson() const {
+  std::string out = "[";
+  char buf[64];
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s{\"t_ms\":%.3f,\"stats\":", i == 0 ? "" : ",",
+                  samples_[i].t_ms);
+    out += buf;
+    out += samples_[i].stats_json;
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+Status StatsSampler::WriteFile(const std::string& path) const {
+  const std::string json = SeriesJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(ErrorCode::kIoError, "open " + path + ": " + std::strerror(errno));
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status(ErrorCode::kIoError, "write " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace pfs

@@ -1,0 +1,61 @@
+// StatsSampler: a transient daemon that snapshots StatsRegistry::ReportJson()
+// every N ms into a time-series array, so runs emit latency/throughput
+// *curves* instead of one end-of-run scalar. Snapshots are cumulative (the
+// sampler never calls ResetIntervalAll — interval semantics stay owned by
+// whoever drives StatReport); consumers difference adjacent samples to get
+// rates.
+//
+// Deliberately NOT a StatSource: registering it would recurse through
+// ReportJson().
+#ifndef PFS_OBS_STATS_SAMPLER_H_
+#define PFS_OBS_STATS_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sched/scheduler.h"
+#include "stats/registry.h"
+
+namespace pfs {
+
+class StatsSampler {
+ public:
+  StatsSampler(Scheduler* sched, StatsRegistry* stats, Duration interval);
+
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  Duration interval() const { return interval_; }
+
+  // Spawns the sampling daemon (transient: neither keeps Run() alive nor
+  // leaves a finished record).
+  void Start();
+
+  // Takes one snapshot now; the daemon calls this every interval.
+  void SampleNow();
+
+  size_t sample_count() const { return samples_.size(); }
+
+  // `[{"t_ms":<clock ms>,"stats":<ReportJson()>}, ...]`
+  std::string SeriesJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  Task<> Loop();
+
+  Scheduler* sched_;
+  StatsRegistry* stats_;
+  Duration interval_;
+
+  struct Sample {
+    double t_ms;
+    std::string stats_json;
+  };
+  std::vector<Sample> samples_;
+  bool started_ = false;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_OBS_STATS_SAMPLER_H_

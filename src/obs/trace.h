@@ -1,0 +1,163 @@
+// Request tracing and latency attribution (obs/).
+//
+// Every client-level operation gets a trace id (TraceContext) that rides the
+// calling thread — `Scheduler::SpawnImpl` copies it onto spawned threads, so
+// volume fan-out fragments inherit the identity of the request that spawned
+// them — and on each IoRequest handed to a driver. Instrumented stages record
+// completed spans (enter/exit timestamps on whichever clock the system runs
+// on) into per-OS-thread ring buffers owned by a TraceRecorder; a TraceSink
+// drains the rings into per-stage latency histograms and a Chrome
+// `trace_event` JSON export (open in chrome://tracing or Perfetto).
+//
+// Overhead when tracing is off: one branch per stage (the thread's context
+// has a null recorder), nothing else.
+#ifndef PFS_OBS_TRACE_H_
+#define PFS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/trace_context.h"
+#include "sched/scheduler.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+
+namespace pfs {
+
+// One row per instrumented stage. Stage names are the Chrome-trace event
+// names; tools/trace_check.py rejects a file containing any other name.
+enum class TraceStage : uint8_t {
+  kClient = 0,   // client.op: one root span per client operation
+  kCacheFill,    // cache.fill: miss fill from the layout tier
+  kVolume,       // volume.request: one logical request at a volume
+  kFragment,     // volume.fragment: one member-local piece of a fan-out
+  kDriverQueue,  // driver.queue: enqueue -> batch dispatch (queue wait)
+  kDriverIo,     // driver.io: dispatch -> completion (service time)
+  kDriverBatch,  // driver.batch: one batched device dispatch
+};
+inline constexpr size_t kTraceStageCount = 7;
+const char* TraceStageName(TraceStage stage);
+
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  uint64_t tid = 0;  // scheduler Thread id: the chrome-trace row
+  int64_t begin_ns = 0;
+  int64_t end_ns = 0;
+  uint64_t arg = 0;  // stage-specific size (bytes, sectors, batch size)
+  TraceStage stage = TraceStage::kClient;
+};
+
+// Owns the span rings. Recording takes one uncontended mutex on a ring
+// private to the calling OS thread (file-backed completions re-enter the
+// scheduler via Post(), so in practice every span is recorded on the
+// scheduler's OS thread); a full ring overwrites its oldest span and counts
+// the drop rather than blocking or growing.
+class TraceRecorder {
+ public:
+  TraceRecorder(Scheduler* sched, size_t ring_capacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  Scheduler* scheduler() const { return sched_; }
+  size_t ring_capacity() const { return capacity_; }
+
+  // A fresh trace id bound to this recorder; call at the root of an
+  // operation and place the result on the current thread.
+  TraceContext StartTrace() {
+    return TraceContext{this, next_id_.fetch_add(1, std::memory_order_relaxed)};
+  }
+
+  void Record(const TraceSpan& span);
+
+  // Moves every buffered span out (oldest-first within each ring),
+  // appending to `*out`.
+  void Drain(std::vector<TraceSpan>* out);
+
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+
+ private:
+  struct Ring {
+    explicit Ring(size_t capacity) : slots(capacity) {}
+    std::mutex mu;
+    std::vector<TraceSpan> slots;
+    size_t next = 0;  // insertion cursor
+    size_t size = 0;  // occupied slots
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+  };
+
+  Ring* LocalRing();
+
+  Scheduler* sched_;
+  size_t capacity_;
+  uint64_t instance_id_;  // process-unique: keys the thread-local ring cache
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// Records a completed span against `ctx`. Callers check `ctx.active()` first
+// — that check is the entire disabled-path cost.
+inline void RecordSpan(const TraceContext& ctx, TraceStage stage, uint64_t tid, TimePoint begin,
+                       TimePoint end, uint64_t arg) {
+  ctx.recorder->Record(TraceSpan{ctx.id, tid, begin.nanos(), end.nanos(), arg, stage});
+}
+
+// Drains a recorder into per-stage latency histograms (queue wait vs.
+// service time per tier, surfaced as p50/p95/p99 in StatJson) and an event
+// list exported as Chrome trace_event JSON.
+class TraceSink : public StatSource {
+ public:
+  explicit TraceSink(TraceRecorder* recorder);
+
+  // Spawns the periodic drain daemon (transient: it neither keeps Run()
+  // alive nor leaves a finished record). Without Start(), Drain() on demand
+  // still works.
+  void Start(Duration drain_interval);
+
+  // Pulls buffered spans out of the recorder into the sink.
+  void Drain();
+
+  // Drain + serialize the Chrome trace_event document.
+  std::string ChromeTraceJson();
+  Status WriteChromeTrace(const std::string& path);
+
+  size_t span_count() const { return spans_.size(); }
+  uint64_t spans_for_stage(TraceStage stage) const {
+    return stage_counts_[static_cast<size_t>(stage)];
+  }
+  const LatencyHistogram& stage_latency(TraceStage stage) const {
+    return stage_latency_[static_cast<size_t>(stage)];
+  }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  // StatSource
+  std::string stat_name() const override { return "trace"; }
+  std::string StatReport(bool with_histograms) const override;
+  std::string StatJson() const override;
+
+ private:
+  Task<> DrainLoop(Duration interval);
+
+  TraceRecorder* recorder_;
+  std::vector<TraceSpan> spans_;
+  LatencyHistogram stage_latency_[kTraceStageCount];
+  uint64_t stage_counts_[kTraceStageCount] = {};
+  bool started_ = false;
+};
+
+// "trace.json" -> "trace-samples.json": where the StatsSampler time series
+// lands next to a chrome-trace export.
+std::string TraceSamplesPath(const std::string& trace_file);
+
+}  // namespace pfs
+
+#endif  // PFS_OBS_TRACE_H_

@@ -1,0 +1,24 @@
+// The request identity carried down the storage stack (obs/). Kept free of
+// any other include so low layers (sched/, disk/) can embed a TraceContext
+// without pulling the tracing machinery into their headers: when tracing is
+// off the context is two null words and every instrumentation site reduces
+// to one branch on `active()`.
+#ifndef PFS_OBS_TRACE_CONTEXT_H_
+#define PFS_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace pfs {
+
+class TraceRecorder;
+
+struct TraceContext {
+  TraceRecorder* recorder = nullptr;
+  uint64_t id = 0;  // one id per client-level operation
+
+  bool active() const { return recorder != nullptr; }
+};
+
+}  // namespace pfs
+
+#endif  // PFS_OBS_TRACE_CONTEXT_H_

@@ -92,6 +92,9 @@ Thread* Scheduler::SpawnImpl(std::string name, bool daemon, Task<> body, bool tr
   Thread* t = thread.get();
   t->transient_ = transient;
   t->slot_ = threads_.size();
+  if (current_ != nullptr) {
+    t->trace = current_->trace;  // spawned work belongs to the spawning request
+  }
   threads_.push_back(std::move(thread));
   if (!daemon) {
     ++live_non_daemon_;

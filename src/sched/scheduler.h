@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/random.h"
+#include "obs/trace_context.h"
 #include "sched/event.h"
 #include "sched/task.h"
 #include "sched/time.h"
@@ -86,6 +87,11 @@ class Thread {
 
   // Fired when the thread's body returns. Join with: co_await t->done().Wait()
   Notification& done() { return done_; }
+
+  // Request-tracing context (obs/). Spawn copies it from the spawning
+  // thread, so fan-out workers attribute their spans to the request that
+  // spawned them; default-empty (null recorder) means tracing is off.
+  TraceContext trace;
 
  private:
   friend class Scheduler;

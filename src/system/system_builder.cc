@@ -243,6 +243,9 @@ Status ValidateStack(const SystemConfig& config) {
   if (DiskBlocks(config) == 0) {
     return Invalid("disk geometry: block size is not a multiple of the sector size");
   }
+  if (config.trace.enabled && config.trace.ring_capacity == 0) {
+    return Invalid("trace.ring_capacity: tracing needs at least one span slot");
+  }
   if (auto fault_error = CheckFaultSpecs(config); fault_error.has_value()) {
     return Invalid("faults[" + std::to_string(fault_error->fault) + "]." +
                    fault_error->field + ": " + fault_error->message);
@@ -328,10 +331,24 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
     sys.mover_ = std::make_unique<RealDataMover>();
   }
 
+  // Observability: the recorder hands out trace ids at the client roots, the
+  // sink drains the per-thread rings into histograms + an exportable trace,
+  // and the sampler snapshots the whole registry on a period.
+  if (config.trace.enabled) {
+    sys.tracer_ = std::make_unique<TraceRecorder>(sched, config.trace.ring_capacity);
+    sys.trace_sink_ = std::make_unique<TraceSink>(sys.tracer_.get());
+    sys.stats_.Register(sys.trace_sink_.get());
+  }
+  if (config.trace.sample_ms > 0) {
+    sys.sampler_ = std::make_unique<StatsSampler>(sched, &sys.stats_,
+                                                  Duration::Millis(config.trace.sample_ms));
+  }
+
   // File systems over their volumes. The default plan reduces to the seed's
   // round-robin slices (the paper's server had 14 file systems on 10 disks);
   // explicit volume specs compose slices into concat/striped/mirror devices.
   sys.client_ = std::make_unique<LocalClient>(sched);
+  sys.client_->set_trace_recorder(sys.tracer_.get());
   for (int f = 0; f < config.num_filesystems; ++f) {
     const VolumePlan& plan = plans[static_cast<size_t>(f)];
     const std::string vol_name = config.mount_prefix + std::to_string(f);
@@ -430,6 +447,25 @@ Status System::Setup() {
   }
   if (injector_ != nullptr) {
     injector_->Start();
+  }
+  if (trace_sink_ != nullptr) {
+    // Drain on the sampling period when one is set, else often enough that
+    // a default ring never wraps under ordinary load.
+    const uint32_t drain_ms = config_.trace.sample_ms > 0 ? config_.trace.sample_ms : 100;
+    trace_sink_->Start(Duration::Millis(drain_ms));
+  }
+  if (sampler_ != nullptr) {
+    sampler_->Start();
+  }
+  return OkStatus();
+}
+
+Status System::ExportObservability() {
+  if (trace_sink_ != nullptr && !config_.trace.file.empty()) {
+    PFS_RETURN_IF_ERROR(trace_sink_->WriteChromeTrace(config_.trace.file));
+    if (sampler_ != nullptr) {
+      PFS_RETURN_IF_ERROR(sampler_->WriteFile(TraceSamplesPath(config_.trace.file)));
+    }
   }
   return OkStatus();
 }

@@ -22,6 +22,8 @@
 #include "fault/rebuild_daemon.h"
 #include "fs/file_system.h"
 #include "layout/storage_layout.h"
+#include "obs/stats_sampler.h"
+#include "obs/trace.h"
 #include "stats/registry.h"
 #include "system/system_config.h"
 #include "volume/volume.h"
@@ -78,6 +80,19 @@ class System {
 
   std::string StatReport(bool with_histograms) { return stats_.ReportAll(with_histograms); }
 
+  // The observability subsystem (config.trace.*). All three are null when
+  // the corresponding knob is off: tracer/sink need trace.enabled, the
+  // sampler needs trace.sample_ms > 0.
+  TraceRecorder* tracer() { return tracer_.get(); }
+  TraceSink* trace_sink() { return trace_sink_.get(); }
+  StatsSampler* stats_sampler() { return sampler_.get(); }
+
+  // Flushes the trace to config.trace.file as Chrome trace_event JSON and
+  // the sampled time-series next to it (TraceSamplesPath). No-op for the
+  // parts that are not configured. Call after the workload, while the
+  // scheduler is still alive.
+  Status ExportObservability();
+
  private:
   friend class SystemBuilder;
   System() = default;
@@ -101,6 +116,11 @@ class System {
   // injector references the daemons and the volumes, so both come after.
   std::vector<std::unique_ptr<RebuildDaemon>> rebuild_daemons_;
   std::unique_ptr<FaultInjector> injector_;
+  // Tracing rides the scheduler's threads and the request path; the sink
+  // drains the recorder's rings, so recorder outlives sink.
+  std::unique_ptr<TraceRecorder> tracer_;
+  std::unique_ptr<TraceSink> trace_sink_;
+  std::unique_ptr<StatsSampler> sampler_;
   std::unique_ptr<LocalClient> client_;
   std::vector<std::string> mount_names_;
   StatsRegistry stats_;

@@ -402,6 +402,26 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
         return fail(parsed.status());
       }
       config.async_flush = *parsed;
+    } else if (key == "trace.enabled") {
+      auto parsed = ParseBool(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.trace.enabled = *parsed;
+    } else if (key == "trace.file") {
+      config.trace.file = value;
+    } else if (key == "trace.sample_ms") {
+      auto parsed = ParseUintMax(value, UINT32_MAX);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.trace.sample_ms = static_cast<uint32_t>(*parsed);
+    } else if (key == "trace.ring_capacity") {
+      auto parsed = ParseUintMax(value, UINT32_MAX);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.trace.ring_capacity = static_cast<uint32_t>(*parsed);
     } else if (key == "host.mem_bandwidth_bytes_per_sec") {
       auto parsed = ParseBytes(value);
       if (!parsed.ok()) {
@@ -592,6 +612,11 @@ std::string SystemConfig::ToString() const {
   out << "cache.flush_policy = " << flush_policy << "\n";
   out << "cache.nvram_bytes = " << FormatBytes(nvram_bytes) << "\n";
   out << "cache.async_flush = " << (async_flush ? "true" : "false") << "\n";
+  out << "\n# observability\n";
+  out << "trace.enabled = " << (trace.enabled ? "true" : "false") << "\n";
+  out << "trace.file = " << trace.file << "\n";
+  out << "trace.sample_ms = " << trace.sample_ms << "\n";
+  out << "trace.ring_capacity = " << trace.ring_capacity << "\n";
   out << "\n# simulated host model\n";
   out << "host.mem_bandwidth_bytes_per_sec = " << host.mem_bandwidth_bytes_per_sec << "\n";
   out << "host.per_op_cpu_ns = " << host.per_op_cpu.nanos() << "\n";

@@ -114,6 +114,15 @@ struct SystemConfig {
   uint64_t nvram_bytes = 2 * kMiB;
   bool async_flush = true;  // the §5.2 lesson, applied
 
+  // -- observability -------------------------------------------------------
+  struct TraceConfig {
+    bool enabled = false;   // request tracing (spans, TraceSink, "trace" stats)
+    std::string file;       // chrome trace_event export path ("" = no export)
+    uint32_t sample_ms = 0;  // StatsSampler period; 0 = no time-series sampling
+    uint32_t ring_capacity = 65536;  // spans per OS-thread ring buffer
+  };
+  TraceConfig trace;
+
   // -- simulated host (data-copy and per-op CPU accounting) ----------------
   HostModel host;
 

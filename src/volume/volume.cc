@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "system/component_registry.h"
 
 namespace pfs {
@@ -27,11 +28,18 @@ struct FanoutJoin {
 };
 
 // One member's share of a split request, run as its own scheduler thread so
-// the members seek and transfer concurrently.
-Task<> FragmentIo(Volume* volume, bool is_write, const Volume::Fragment* f,
+// the members seek and transfer concurrently. The worker inherits the
+// issuer's TraceContext at spawn, so its fragment span carries the right id.
+Task<> FragmentIo(Scheduler* sched, Volume* volume, bool is_write, const Volume::Fragment* f,
                   std::span<std::byte> out, std::span<const std::byte> in, Status* result,
                   FanoutJoin* join) {
+  Thread* self = sched->current_thread();
+  const bool traced = self != nullptr && self->trace.active();
+  const TimePoint begin = sched->Now();
   *result = co_await volume->IoFragment(is_write, *f, out, in);
+  if (traced) {
+    RecordSpan(self->trace, TraceStage::kFragment, self->id(), begin, sched->Now(), f->count);
+  }
   if (--join->remaining == 0) {
     join->done.Signal();
   }
@@ -136,21 +144,25 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
                                   std::span<const std::byte> in,
                                   const std::vector<Fragment>& fragments,
                                   std::vector<Status>* per_fragment) {
+  const TimePoint op_begin = OpBegin();
   requests_.Inc();
   // Alloc-free fan-out tracking; members beyond 64 share the last bit (the
   // histogram clamps far earlier anyway).
   uint64_t seen = 0;
   int distinct = 0;
+  uint64_t total_count = 0;
   for (const Fragment& f : fragments) {
     const uint64_t bit = uint64_t{1} << std::min<size_t>(f.member, 63);
     if ((seen & bit) == 0) {
       seen |= bit;
       ++distinct;
     }
+    total_count += f.count;
     (is_write ? member_writes_ : member_reads_)[f.member].Inc();
   }
   fanout_.Record(static_cast<double>(distinct));
   if (fragments.empty()) {
+    OpFinish(op_begin, 0);
     co_return OkStatus();
   }
   if (fragments.size() == 1) {
@@ -158,6 +170,14 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
     if (per_fragment != nullptr) {
       per_fragment->assign(1, status);
     }
+    const Thread* self = sched_->current_thread();
+    if (self != nullptr && self->trace.active()) {
+      // The lone fragment ran inline; give it its span here so single- and
+      // multi-fragment requests look alike in the trace.
+      RecordSpan(self->trace, TraceStage::kFragment, self->id(), op_begin, sched_->Now(),
+                 fragments[0].count);
+    }
+    OpFinish(op_begin, total_count);
     co_return status;
   }
   // "Split" means partitioned into distinct address pieces — a mirror's
@@ -175,8 +195,8 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
   std::vector<Status> results(fragments.size(), Status(ErrorCode::kAborted));
   FanoutJoin join(sched_, fragments.size());
   for (size_t i = 0; i < fragments.size(); ++i) {
-    sched_->SpawnTransient(
-        name_ + ".io", FragmentIo(this, is_write, &fragments[i], out, in, &results[i], &join));
+    sched_->SpawnTransient(name_ + ".io", FragmentIo(sched_, this, is_write, &fragments[i], out,
+                                                     in, &results[i], &join));
   }
   while (join.remaining > 0) {
     co_await join.done.Wait();
@@ -190,20 +210,30 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
   if (per_fragment != nullptr) {
     *per_fragment = std::move(results);
   }
+  OpFinish(op_begin, total_count);
   co_return first_error;
+}
+
+void Volume::OpFinish(TimePoint begin, uint64_t count) {
+  const TimePoint end = sched_->Now();
+  latency_.Record(end - begin);
+  const Thread* self = sched_->current_thread();
+  if (self != nullptr && self->trace.active()) {
+    RecordSpan(self->trace, TraceStage::kVolume, self->id(), begin, end, count);
+  }
 }
 
 std::string Volume::StatReport(bool with_histograms) const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "kind=%s members=%zu sectors=%llu requests=%llu split=%llu "
-                "coalesced=%llu bounce=%lluB\nfan-out: %s\n",
+                "coalesced=%llu bounce=%lluB\nfan-out: %s\nlatency: %s\n",
                 kind(), members_.size(), static_cast<unsigned long long>(total_sectors()),
                 static_cast<unsigned long long>(requests_.value()),
                 static_cast<unsigned long long>(split_requests_.value()),
                 static_cast<unsigned long long>(coalesced_.value()),
                 static_cast<unsigned long long>(bounce_bytes_.value()),
-                fanout_.Summary().c_str());
+                fanout_.Summary().c_str(), latency_.Summary().c_str());
   std::string out(buf);
   for (size_t i = 0; i < members_.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "member %zu: reads=%llu writes=%llu\n", i,
@@ -230,16 +260,22 @@ std::string Volume::StatJson() const {
   }
   std::snprintf(buf, sizeof(buf),
                 "],\"requests\":%llu,\"split_requests\":%llu,\"coalesced\":%llu,"
-                "\"bounce_bytes\":%llu,\"fanout_mean\":%.3f}",
+                "\"bounce_bytes\":%llu,\"fanout_mean\":%.3f,"
+                "\"latency_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f}}",
                 static_cast<unsigned long long>(requests_.value()),
                 static_cast<unsigned long long>(split_requests_.value()),
                 static_cast<unsigned long long>(coalesced_.value()),
-                static_cast<unsigned long long>(bounce_bytes_.value()), fanout_.mean());
+                static_cast<unsigned long long>(bounce_bytes_.value()), fanout_.mean(),
+                latency_.mean().ToMillisF(), latency_.Percentile(0.5).ToMillisF(),
+                latency_.Percentile(0.95).ToMillisF(), latency_.Percentile(0.99).ToMillisF());
   out += buf;
   return out;
 }
 
-void Volume::StatResetInterval() { fanout_.Reset(); }
+void Volume::StatResetInterval() {
+  fanout_.Reset();
+  latency_.Reset();
+}
 
 // -- SingleDiskVolume --------------------------------------------------------
 
@@ -259,19 +295,25 @@ SingleDiskVolume::SingleDiskVolume(Scheduler* sched, std::string name, BlockDevi
 Task<Status> SingleDiskVolume::Read(uint64_t sector, uint32_t count,
                                     std::span<std::byte> out) {
   PFS_CHECK(sector + count <= nsectors_);
+  const TimePoint op_begin = OpBegin();
   requests_.Inc();
   member_reads_[0].Inc();
   fanout_.Record(1);
-  co_return co_await members_[0]->Read(start_ + sector, count, out);
+  const Status status = co_await members_[0]->Read(start_ + sector, count, out);
+  OpFinish(op_begin, count);
+  co_return status;
 }
 
 Task<Status> SingleDiskVolume::Write(uint64_t sector, uint32_t count,
                                      std::span<const std::byte> in) {
   PFS_CHECK(sector + count <= nsectors_);
+  const TimePoint op_begin = OpBegin();
   requests_.Inc();
   member_writes_[0].Inc();
   fanout_.Record(1);
-  co_return co_await members_[0]->Write(start_ + sector, count, in);
+  const Status status = co_await members_[0]->Write(start_ + sector, count, in);
+  OpFinish(op_begin, count);
+  co_return status;
 }
 
 // -- ConcatVolume ------------------------------------------------------------
@@ -570,10 +612,12 @@ std::vector<size_t> MirrorVolume::ReadOrder() {
 
 Task<Status> MirrorVolume::Read(uint64_t sector, uint32_t count, std::span<std::byte> out) {
   PFS_CHECK(sector + count <= total_);
+  const TimePoint op_begin = OpBegin();
   requests_.Inc();
   const std::vector<size_t> order = ReadOrder();
   if (order.empty()) {
     fanout_.Record(0);
+    OpFinish(op_begin, count);
     co_return Status(ErrorCode::kIoError, "mirror " + name_ + ": no live members");
   }
   if (order.size() < members_.size()) {
@@ -593,10 +637,12 @@ Task<Status> MirrorVolume::Read(uint64_t sector, uint32_t count, std::span<std::
         MarkMemberFailed(order[j]);
       }
       fanout_.Record(static_cast<double>(i + 1));  // members actually touched
+      OpFinish(op_begin, count);
       co_return last;
     }
   }
   fanout_.Record(static_cast<double>(order.size()));
+  OpFinish(op_begin, count);
   co_return last;
 }
 

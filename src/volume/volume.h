@@ -46,6 +46,7 @@ class Volume : public BlockDevice, public StatSource {
   void StatResetInterval() override;
 
   uint64_t requests() const { return requests_.value(); }
+  const LatencyHistogram& latency() const { return latency_; }
   uint64_t member_reads(size_t i) const { return member_reads_[i].value(); }
   uint64_t member_writes(size_t i) const { return member_writes_[i].value(); }
   const Histogram& fanout_width() const { return fanout_; }
@@ -108,6 +109,14 @@ class Volume : public BlockDevice, public StatSource {
                             const std::vector<Fragment>& fragments,
                             std::vector<Status>* per_fragment = nullptr);
 
+  // Request bracket shared by every entry path (RunFragments and the
+  // Read/Write overrides that bypass it): per-request latency, and a
+  // volume.request span when the calling thread carries a TraceContext.
+  // Not RAII on purpose — the end stamp must be taken before co_return, not
+  // whenever the coroutine frame happens to be destroyed.
+  TimePoint OpBegin() const { return sched_->Now(); }
+  void OpFinish(TimePoint begin, uint64_t count);
+
   Scheduler* sched_;
   std::string name_;
   std::vector<BlockDevice*> members_;
@@ -121,6 +130,7 @@ class Volume : public BlockDevice, public StatSource {
   std::vector<Counter> member_reads_;
   std::vector<Counter> member_writes_;
   Histogram fanout_{0, 16, 16};  // distinct members touched per request
+  LatencyHistogram latency_;     // whole-request latency at this volume
 };
 
 // Adapter over a partition slice [start_sector, start_sector + nsectors) of

@@ -10,6 +10,10 @@ direction that counts as a regression, and a per-check tolerance:
   wall-clock metrics carry a wider, explicitly stored tolerance (or are
   omitted entirely) because they depend on the host.
 
+A check may instead set "check": "exists" — it then only asserts the dotted
+metric is present and numeric in the matched line (schema gate for fields
+like latency percentiles whose values are host-dependent).
+
 Usage:
   python3 tools/check_bench.py --baseline bench/baselines/BENCH_baseline.json [--dir DIR]
   python3 tools/check_bench.py --baseline ... --update   # rewrite expectations
@@ -71,6 +75,16 @@ def run_checks(baseline, bench_dir, update):
             failures.append("%s: %s" % (name, err))
             continue
         value = dig(line, check["metric"])
+        if check.get("check") == "exists":
+            # Presence gate, no value comparison: shields schema fields (e.g.
+            # the percentile keys) from silently vanishing out of StatJson.
+            ok = isinstance(value, (int, float))
+            print("%-40s %s %s" % (name, check["metric"],
+                                   "present" if ok else "MISSING"))
+            if not ok:
+                failures.append("%s: metric %s missing or non-numeric"
+                                % (name, check["metric"]))
+            continue
         if not isinstance(value, (int, float)):
             failures.append("%s: metric %s missing or non-numeric" % (name, check["metric"]))
             continue
