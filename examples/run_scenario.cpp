@@ -160,7 +160,7 @@ int main(int argc, char** argv) {
                                               uint64_t* d, Status* out) -> Task<> {
     *out = co_await Smoke(s, n, shape_in, d);
   }(&sys, ops, shape, &done, &result));
-  sys.scheduler()->Run();
+  sys.RunToCompletion();
 
   std::printf("scenario: %s\n", scenario_path.c_str());
   std::printf("  backend=%s disks=%d filesystems=%d layout=%s flush=%s\n",

@@ -129,8 +129,12 @@ class BufferCache : public StatSource {
   // NVRAM admission waits on this while another thread's flush is in flight.
   Event& cleaned_event() { return cleaned_; }
 
+  // Sharded systems build one cache per shard; the suffix (".shard<i>")
+  // keeps their registry names distinct. Single-shard systems keep "cache".
+  void set_stat_suffix(std::string suffix) { stat_suffix_ = std::move(suffix); }
+
   // StatSource
-  std::string stat_name() const override { return "cache"; }
+  std::string stat_name() const override { return "cache" + stat_suffix_; }
   std::string StatReport(bool with_histograms) const override;
   std::string StatJson() const override;
   void StatResetInterval() override;
@@ -156,6 +160,7 @@ class BufferCache : public StatSource {
   std::unique_ptr<ReplacementPolicy> replacement_;
   std::unique_ptr<FlushPolicy> flush_policy_;
   bool started_ = false;
+  std::string stat_suffix_;
 
   std::vector<std::byte> arena_;
   std::vector<std::unique_ptr<CacheBlock>> pool_;

@@ -42,6 +42,36 @@ FileAttrs LocalClient::AttrsOf(const File& file) {
   return FileAttrs{inode.ino, inode.type, inode.size, inode.nlink, inode.mtime_ns};
 }
 
+Scheduler* LocalClient::SchedForPath(const std::string& path) {
+  // Only the mount component matters; skip the full split's leaf work.
+  size_t start = 0;
+  while (start < path.size() && path[start] == '/') {
+    ++start;
+  }
+  size_t end = start;
+  while (end < path.size() && path[end] != '/') {
+    ++end;
+  }
+  if (end == start) {
+    return nullptr;
+  }
+  auto it = mounts_.find(path.substr(start, end - start));
+  if (it == mounts_.end()) {
+    return nullptr;
+  }
+  return it->second.fs->scheduler();
+}
+
+bool LocalClient::LookupFd(Fd fd, OpenFile* out) const {
+  std::lock_guard<std::mutex> lk(fd_mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
 Task<Result<LocalClient::Resolved>> LocalClient::ResolveParent(const std::string& path) {
   std::vector<std::string> parts = SplitPath(path);
   if (parts.empty()) {
@@ -94,14 +124,19 @@ LocalClient::OpTrace LocalClient::TraceBegin() {
   if (tracer_ == nullptr) {
     return t;
   }
-  Thread* self = sched_->current_thread();
+  Scheduler* sched = Scheduler::Current();
+  if (sched == nullptr) {
+    sched = sched_;
+  }
+  Thread* self = sched->current_thread();
   if (self == nullptr) {
     return t;
   }
   t.self = self;
+  t.sched = sched;
   t.saved = self->trace;
   self->trace = tracer_->StartTrace();
-  t.begin = sched_->Now();
+  t.begin = sched->Now();
   return t;
 }
 
@@ -109,11 +144,166 @@ void LocalClient::TraceEnd(const OpTrace& t, uint64_t arg) {
   if (t.self == nullptr) {
     return;
   }
-  RecordSpan(t.self->trace, TraceStage::kClient, t.self->id(), t.begin, sched_->Now(), arg);
+  RecordSpan(t.self->trace, TraceStage::kClient, t.self->id(), t.begin, t.sched->Now(), arg);
   t.self->trace = t.saved;
 }
 
+// ---------------------------------------------------------------------------
+// Routers: hop to the owning shard, then run the *Local body.
+//
+// Every thunk is a *named local*, never a temporary in the co_await
+// expression: GCC 12 mishandles non-trivial temporaries passed as coroutine
+// arguments inside an await full-expression (the capture copies end up
+// double-destroyed, corrupting the frame).
+// ---------------------------------------------------------------------------
+
 Task<Result<Fd>> LocalClient::Open(const std::string& path, OpenOptions options) {
+  LocalClient* self = this;
+  std::string p = path;
+  auto body = [self, p, options]() { return self->OpenLocal(p, options); };
+  co_return co_await RouteTo<Result<Fd>>(SchedForPath(p), body);
+}
+
+Task<Status> LocalClient::Close(Fd fd) {
+  OpenFile open;
+  {
+    std::lock_guard<std::mutex> lk(fd_mu_);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end()) {
+      co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+    }
+    open = it->second;
+    open_files_.erase(it);
+  }
+  LocalClient* self = this;
+  auto body = [self, open]() { return self->CloseLocal(open); };
+  co_return co_await RouteTo<Status>(open.mount->fs->scheduler(), body);
+}
+
+Task<Result<uint64_t>> LocalClient::Read(Fd fd, uint64_t offset, uint64_t len,
+                                         std::span<std::byte> out) {
+  OpenFile open;
+  if (!LookupFd(fd, &open)) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  // The span stays valid across the hop: this coroutine suspends on its home
+  // shard until the remote body finishes with the buffer.
+  LocalClient* self = this;
+  auto body = [self, open, offset, len, out]() { return self->ReadLocal(open, offset, len, out); };
+  co_return co_await RouteTo<Result<uint64_t>>(open.mount->fs->scheduler(), body);
+}
+
+Task<Result<uint64_t>> LocalClient::Write(Fd fd, uint64_t offset, uint64_t len,
+                                          std::span<const std::byte> in) {
+  OpenFile open;
+  if (!LookupFd(fd, &open)) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  LocalClient* self = this;
+  auto body = [self, open, offset, len, in]() { return self->WriteLocal(open, offset, len, in); };
+  co_return co_await RouteTo<Result<uint64_t>>(open.mount->fs->scheduler(), body);
+}
+
+Task<Status> LocalClient::Truncate(Fd fd, uint64_t new_size) {
+  OpenFile open;
+  if (!LookupFd(fd, &open)) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  LocalClient* self = this;
+  auto body = [self, open, new_size]() { return self->TruncateLocal(open, new_size); };
+  co_return co_await RouteTo<Status>(open.mount->fs->scheduler(), body);
+}
+
+Task<Status> LocalClient::Fsync(Fd fd) {
+  OpenFile open;
+  if (!LookupFd(fd, &open)) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  LocalClient* self = this;
+  auto body = [self, open]() { return self->FsyncLocal(open); };
+  co_return co_await RouteTo<Status>(open.mount->fs->scheduler(), body);
+}
+
+Task<Result<FileAttrs>> LocalClient::FStat(Fd fd) {
+  OpenFile open;
+  if (!LookupFd(fd, &open)) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
+  }
+  LocalClient* self = this;
+  auto body = [self, open]() { return self->FStatLocal(open); };
+  co_return co_await RouteTo<Result<FileAttrs>>(open.mount->fs->scheduler(), body);
+}
+
+Task<Result<FileAttrs>> LocalClient::Stat(const std::string& path) {
+  LocalClient* self = this;
+  std::string p = path;
+  auto body = [self, p]() { return self->StatLocal(p); };
+  co_return co_await RouteTo<Result<FileAttrs>>(SchedForPath(p), body);
+}
+
+Task<Status> LocalClient::Unlink(const std::string& path) {
+  LocalClient* self = this;
+  std::string p = path;
+  auto body = [self, p]() { return self->UnlinkLocal(p); };
+  co_return co_await RouteTo<Status>(SchedForPath(p), body);
+}
+
+Task<Status> LocalClient::Mkdir(const std::string& path) {
+  LocalClient* self = this;
+  std::string p = path;
+  auto body = [self, p]() { return self->MkdirLocal(p); };
+  co_return co_await RouteTo<Status>(SchedForPath(p), body);
+}
+
+Task<Status> LocalClient::Rmdir(const std::string& path) {
+  LocalClient* self = this;
+  std::string p = path;
+  auto body = [self, p]() { return self->RmdirLocal(p); };
+  co_return co_await RouteTo<Status>(SchedForPath(p), body);
+}
+
+Task<Status> LocalClient::Rename(const std::string& from, const std::string& to) {
+  Scheduler* from_shard = SchedForPath(from);
+  Scheduler* to_shard = SchedForPath(to);
+  if (from_shard != nullptr && to_shard != nullptr && from_shard != to_shard) {
+    // Cross-mount renames are already rejected; cross-shard ones must be, or
+    // the two directory updates would race on different loops.
+    co_return Status(ErrorCode::kInvalidArgument, "bad rename");
+  }
+  LocalClient* self = this;
+  std::string f = from;
+  std::string t = to;
+  auto body = [self, f, t]() { return self->RenameLocal(f, t); };
+  co_return co_await RouteTo<Status>(from_shard != nullptr ? from_shard : to_shard, body);
+}
+
+Task<Result<std::vector<DirEntry>>> LocalClient::ReadDir(const std::string& path) {
+  LocalClient* self = this;
+  std::string p = path;
+  auto body = [self, p]() { return self->ReadDirLocal(p); };
+  co_return co_await RouteTo<Result<std::vector<DirEntry>>>(SchedForPath(p), body);
+}
+
+Task<Status> LocalClient::SymlinkAt(const std::string& path, const std::string& target) {
+  LocalClient* self = this;
+  std::string p = path;
+  std::string t = target;
+  auto body = [self, p, t]() { return self->SymlinkAtLocal(p, t); };
+  co_return co_await RouteTo<Status>(SchedForPath(p), body);
+}
+
+Task<Result<std::string>> LocalClient::ReadLink(const std::string& path) {
+  LocalClient* self = this;
+  std::string p = path;
+  auto body = [self, p]() { return self->ReadLinkLocal(p); };
+  co_return co_await RouteTo<Result<std::string>>(SchedForPath(p), body);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-local bodies.
+// ---------------------------------------------------------------------------
+
+Task<Result<Fd>> LocalClient::OpenLocal(const std::string& path, OpenOptions options) {
   const OpTrace t = TraceBegin();
   Result<Fd> result = co_await OpenImpl(path, options);
   TraceEnd(t, 0);
@@ -159,67 +349,49 @@ Task<Result<Fd>> LocalClient::OpenImpl(const std::string& path, OpenOptions opti
   }
   PFS_CO_ASSIGN_OR_RETURN(File * file, co_await r.mount->table->Acquire(ino));
   (void)file;
-  const Fd fd = next_fd_++;
-  open_files_[fd] = OpenFile{r.mount, ino};
+  Fd fd;
+  {
+    std::lock_guard<std::mutex> lk(fd_mu_);
+    fd = next_fd_++;
+    open_files_[fd] = OpenFile{r.mount, ino};
+  }
   co_return fd;
 }
 
-Task<Status> LocalClient::Close(Fd fd) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) {
-    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
-  }
-  const OpenFile open = it->second;
-  open_files_.erase(it);
+Task<Status> LocalClient::CloseLocal(OpenFile open) {
   co_return co_await open.mount->table->Release(open.ino);
 }
 
-Task<Result<uint64_t>> LocalClient::Read(Fd fd, uint64_t offset, uint64_t len,
-                                         std::span<std::byte> out) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) {
-    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
-  }
-  File* file = it->second.mount->table->Get(it->second.ino);
+Task<Result<uint64_t>> LocalClient::ReadLocal(OpenFile open, uint64_t offset, uint64_t len,
+                                              std::span<std::byte> out) {
+  File* file = open.mount->table->Get(open.ino);
   PFS_CHECK(file != nullptr);
   const OpTrace t = TraceBegin();
-  co_await it->second.mount->fs->mover()->ChargeOpCost();
+  co_await open.mount->fs->mover()->ChargeOpCost();
   Result<uint64_t> result = co_await file->Read(offset, len, out);
   TraceEnd(t, len);
   co_return result;
 }
 
-Task<Result<uint64_t>> LocalClient::Write(Fd fd, uint64_t offset, uint64_t len,
-                                          std::span<const std::byte> in) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) {
-    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
-  }
-  File* file = it->second.mount->table->Get(it->second.ino);
+Task<Result<uint64_t>> LocalClient::WriteLocal(OpenFile open, uint64_t offset, uint64_t len,
+                                               std::span<const std::byte> in) {
+  File* file = open.mount->table->Get(open.ino);
   PFS_CHECK(file != nullptr);
   const OpTrace t = TraceBegin();
-  co_await it->second.mount->fs->mover()->ChargeOpCost();
+  co_await open.mount->fs->mover()->ChargeOpCost();
   Result<uint64_t> result = co_await file->Write(offset, len, in);
   TraceEnd(t, len);
   co_return result;
 }
 
-Task<Status> LocalClient::Truncate(Fd fd, uint64_t new_size) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) {
-    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
-  }
-  File* file = it->second.mount->table->Get(it->second.ino);
+Task<Status> LocalClient::TruncateLocal(OpenFile open, uint64_t new_size) {
+  File* file = open.mount->table->Get(open.ino);
   PFS_CHECK(file != nullptr);
   co_return co_await file->Truncate(new_size);
 }
 
-Task<Status> LocalClient::Fsync(Fd fd) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) {
-    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
-  }
-  File* file = it->second.mount->table->Get(it->second.ino);
+Task<Status> LocalClient::FsyncLocal(OpenFile open) {
+  File* file = open.mount->table->Get(open.ino);
   PFS_CHECK(file != nullptr);
   const OpTrace t = TraceBegin();
   Status status = co_await file->Flush();
@@ -227,17 +399,13 @@ Task<Status> LocalClient::Fsync(Fd fd) {
   co_return status;
 }
 
-Task<Result<FileAttrs>> LocalClient::FStat(Fd fd) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) {
-    co_return Status(ErrorCode::kInvalidArgument, "bad fd");
-  }
-  File* file = it->second.mount->table->Get(it->second.ino);
+Task<Result<FileAttrs>> LocalClient::FStatLocal(OpenFile open) {
+  File* file = open.mount->table->Get(open.ino);
   PFS_CHECK(file != nullptr);
   co_return AttrsOf(*file);
 }
 
-Task<Result<FileAttrs>> LocalClient::Stat(const std::string& path) {
+Task<Result<FileAttrs>> LocalClient::StatLocal(const std::string& path) {
   PFS_CO_ASSIGN_OR_RETURN(auto resolved, co_await ResolveExisting(path));
   auto [mount, entry] = resolved;
   PFS_CO_ASSIGN_OR_RETURN(File * file, co_await mount->table->Acquire(entry.ino));
@@ -246,7 +414,7 @@ Task<Result<FileAttrs>> LocalClient::Stat(const std::string& path) {
   co_return attrs;
 }
 
-Task<Status> LocalClient::Unlink(const std::string& path) {
+Task<Status> LocalClient::UnlinkLocal(const std::string& path) {
   PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
   if (r.leaf.empty()) {
     co_return Status(ErrorCode::kIsDirectory, "cannot unlink a mount root");
@@ -276,7 +444,7 @@ Task<Status> LocalClient::Unlink(const std::string& path) {
   co_return co_await r.mount->fs->layout()->FreeInode(ino);
 }
 
-Task<Status> LocalClient::Mkdir(const std::string& path) {
+Task<Status> LocalClient::MkdirLocal(const std::string& path) {
   PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
   if (r.leaf.empty()) {
     co_return Status(ErrorCode::kExists, path);
@@ -300,7 +468,7 @@ Task<Status> LocalClient::Mkdir(const std::string& path) {
   co_return add;
 }
 
-Task<Status> LocalClient::Rmdir(const std::string& path) {
+Task<Status> LocalClient::RmdirLocal(const std::string& path) {
   PFS_CO_ASSIGN_OR_RETURN(Resolved r, co_await ResolveParent(path));
   if (r.leaf.empty()) {
     co_return Status(ErrorCode::kInvalidArgument, "cannot remove a mount root");
@@ -327,7 +495,7 @@ Task<Status> LocalClient::Rmdir(const std::string& path) {
   co_return co_await r.mount->fs->layout()->FreeInode(entry_or->ino);
 }
 
-Task<Status> LocalClient::Rename(const std::string& from, const std::string& to) {
+Task<Status> LocalClient::RenameLocal(const std::string& from, const std::string& to) {
   PFS_CO_ASSIGN_OR_RETURN(Resolved rf, co_await ResolveParent(from));
   PFS_CO_ASSIGN_OR_RETURN(Resolved rt, co_await ResolveParent(to));
   if (rf.leaf.empty() || rt.leaf.empty() || rf.mount != rt.mount) {
@@ -341,6 +509,8 @@ Task<Status> LocalClient::Rename(const std::string& from, const std::string& to)
     co_return entry_or.status();
   }
   // Replace an existing regular-file target, per Unix rename semantics.
+  // Same shard by construction (the router rejected cross-shard pairs), so
+  // the nested Unlink router collapses inline.
   auto existing = co_await ResolveExisting(to);
   if (existing.ok() && existing->second.type != FileType::kDirectory) {
     PFS_CO_RETURN_IF_ERROR(co_await Unlink(to));
@@ -355,7 +525,7 @@ Task<Status> LocalClient::Rename(const std::string& from, const std::string& to)
   co_return add;
 }
 
-Task<Result<std::vector<DirEntry>>> LocalClient::ReadDir(const std::string& path) {
+Task<Result<std::vector<DirEntry>>> LocalClient::ReadDirLocal(const std::string& path) {
   PFS_CO_ASSIGN_OR_RETURN(auto resolved, co_await ResolveExisting(path));
   auto [mount, entry] = resolved;
   if (entry.type != FileType::kDirectory) {
@@ -367,19 +537,21 @@ Task<Result<std::vector<DirEntry>>> LocalClient::ReadDir(const std::string& path
   co_return list_or;
 }
 
-Task<Status> LocalClient::SymlinkAt(const std::string& path, const std::string& target) {
+Task<Status> LocalClient::SymlinkAtLocal(const std::string& path, const std::string& target) {
   OpenOptions options;
   options.create = true;
   options.create_type = FileType::kSymlink;
+  // Same shard as `path`, so the nested Open/Close routers collapse inline.
   PFS_CO_ASSIGN_OR_RETURN(const Fd fd, co_await Open(path, options));
-  auto it = open_files_.find(fd);
-  auto* link = static_cast<Symlink*>(it->second.mount->table->Get(it->second.ino));
+  OpenFile open;
+  PFS_CHECK(LookupFd(fd, &open));
+  auto* link = static_cast<Symlink*>(open.mount->table->Get(open.ino));
   const Status status = co_await link->SetTarget(target);
   PFS_CO_RETURN_IF_ERROR(co_await Close(fd));
   co_return status;
 }
 
-Task<Result<std::string>> LocalClient::ReadLink(const std::string& path) {
+Task<Result<std::string>> LocalClient::ReadLinkLocal(const std::string& path) {
   PFS_CO_ASSIGN_OR_RETURN(auto resolved, co_await ResolveExisting(path));
   auto [mount, entry] = resolved;
   if (entry.type != FileType::kSymlink) {
@@ -402,14 +574,47 @@ Task<Status> LocalClient::SyncAll() {
 }
 
 Task<Status> LocalClient::SyncAllImpl() {
+  // Distinct shards in mount order; each shard's mounts sync on that shard.
+  std::vector<Scheduler*> shards;
+  for (auto& [name, mount] : mounts_) {
+    Scheduler* s = mount.fs->scheduler();
+    if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
+      shards.push_back(s);
+    }
+  }
+  if (shards.size() <= 1) {
+    co_return co_await SyncShard(nullptr);
+  }
+  Scheduler* home = Scheduler::Current();
+  for (Scheduler* shard : shards) {
+    LocalClient* self = this;
+    Status status;
+    if (home == nullptr || shard == home) {
+      status = co_await SyncShard(shard);
+    } else {
+      auto body = [self, shard]() { return self->SyncShard(shard); };
+      status = co_await CallOn<Status>(home, shard, body);
+    }
+    PFS_CO_RETURN_IF_ERROR(status);
+  }
+  co_return OkStatus();
+}
+
+Task<Status> LocalClient::SyncShard(Scheduler* shard) {
   BufferCache* cache = nullptr;
   for (auto& [name, mount] : mounts_) {
+    if (shard != nullptr && mount.fs->scheduler() != shard) {
+      continue;
+    }
     if (cache != mount.fs->cache()) {
       cache = mount.fs->cache();
       PFS_CO_RETURN_IF_ERROR(co_await cache->SyncAll());
     }
   }
   for (auto& [name, mount] : mounts_) {
+    if (shard != nullptr && mount.fs->scheduler() != shard) {
+      continue;
+    }
     PFS_CO_RETURN_IF_ERROR(co_await mount.fs->layout()->Sync());
   }
   co_return OkStatus();

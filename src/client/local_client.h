@@ -6,17 +6,25 @@
 //
 // Paths are "/<mount>/dir/.../name"; the first component selects the mounted
 // file system (the paper's server exported 14 file systems).
+//
+// Sharding: every mounted file system is pinned to one scheduler shard. An
+// operation invoked from another shard hops to the owner with CallOn and
+// runs its *Local body there; same-shard calls collapse to plain inline
+// awaits, so a single-shard system behaves exactly as before. The fd table
+// is the one piece of genuinely shared state and sits under a mutex.
 #ifndef PFS_CLIENT_LOCAL_CLIENT_H_
 #define PFS_CLIENT_LOCAL_CLIENT_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "client/client_interface.h"
 #include "fs/file_system.h"
 #include "fs/file_table.h"
 #include "obs/trace_context.h"
+#include "sched/shard.h"
 
 namespace pfs {
 
@@ -27,7 +35,7 @@ class LocalClient final : public ClientInterface {
   explicit LocalClient(Scheduler* sched) : sched_(sched) {}
 
   // Mounts `fs` under "/<name>". The file system must be formatted/mounted
-  // at the layout level already.
+  // at the layout level already. Not thread-safe: mount before running.
   void AddMount(const std::string& name, FileSystem* fs);
 
   // Enables request tracing (obs/): Open/Read/Write/Fsync/SyncAll become
@@ -55,7 +63,10 @@ class LocalClient final : public ClientInterface {
   Task<Result<std::string>> ReadLink(const std::string& path) override;
   Task<Status> SyncAll() override;
 
-  size_t open_file_count() const { return open_files_.size(); }
+  size_t open_file_count() const {
+    std::lock_guard<std::mutex> lk(fd_mu_);
+    return open_files_.size();
+  }
 
  private:
   struct Mount {
@@ -81,24 +92,69 @@ class LocalClient final : public ClientInterface {
 
   static FileAttrs AttrsOf(const File& file);
 
+  // -- cross-shard routing --------------------------------------------------
+  // The shard owning the file system the path's mount component names
+  // (nullptr for unknown mounts: the local body reports the NotFound).
+  // mounts_ is immutable once running, so this reads it lock-free.
+  Scheduler* SchedForPath(const std::string& path);
+  // Copies the fd's entry out under the fd-table mutex.
+  bool LookupFd(Fd fd, OpenFile* out) const;
+  // Runs `local` (a copyable thunk returning Task<T>) on `target`, inline
+  // when already there (or when there is nowhere sensible to hop).
+  template <typename T, typename Fn>
+  Task<T> RouteTo(Scheduler* target, Fn local) {
+    Scheduler* home = Scheduler::Current();
+    if (target == nullptr || home == nullptr || target == home) {
+      co_return co_await local();
+    }
+    co_return co_await CallOn<T>(home, target, std::move(local));
+  }
+
+  // -- shard-local op bodies (run on the mount's shard) ---------------------
+  Task<Result<Fd>> OpenLocal(const std::string& path, OpenOptions options);
+  Task<Result<Fd>> OpenImpl(const std::string& path, OpenOptions options);
+  Task<Status> CloseLocal(OpenFile open);
+  Task<Result<uint64_t>> ReadLocal(OpenFile open, uint64_t offset, uint64_t len,
+                                   std::span<std::byte> out);
+  Task<Result<uint64_t>> WriteLocal(OpenFile open, uint64_t offset, uint64_t len,
+                                    std::span<const std::byte> in);
+  Task<Status> TruncateLocal(OpenFile open, uint64_t new_size);
+  Task<Status> FsyncLocal(OpenFile open);
+  Task<Result<FileAttrs>> FStatLocal(OpenFile open);
+  Task<Result<FileAttrs>> StatLocal(const std::string& path);
+  Task<Status> UnlinkLocal(const std::string& path);
+  Task<Status> MkdirLocal(const std::string& path);
+  Task<Status> RmdirLocal(const std::string& path);
+  Task<Status> RenameLocal(const std::string& from, const std::string& to);
+  Task<Result<std::vector<DirEntry>>> ReadDirLocal(const std::string& path);
+  Task<Status> SymlinkAtLocal(const std::string& path, const std::string& target);
+  Task<Result<std::string>> ReadLinkLocal(const std::string& path);
+  // Syncs the caches and layouts of the mounts living on `shard` (all
+  // mounts when null), in mount order, deduping shared caches.
+  Task<Status> SyncShard(Scheduler* shard);
+  Task<Status> SyncAllImpl();
+
   // Root-span bracket. TraceBegin saves the thread's context and installs a
   // fresh trace id; TraceEnd records the client.op span and restores it.
   // Explicit (not RAII) so the end stamp lands before co_return, not at
-  // frame destruction.
+  // frame destruction. Runs against the *executing* shard's scheduler, so
+  // routed ops trace on the shard that does the work.
   struct OpTrace {
     Thread* self = nullptr;  // null: tracing off for this op
+    Scheduler* sched = nullptr;
     TraceContext saved;
     TimePoint begin;
   };
   OpTrace TraceBegin();
   void TraceEnd(const OpTrace& t, uint64_t arg);
 
-  Task<Result<Fd>> OpenImpl(const std::string& path, OpenOptions options);
-  Task<Status> SyncAllImpl();
-
-  Scheduler* sched_;
+  Scheduler* sched_;  // shard 0: the client's home loop
   TraceRecorder* tracer_ = nullptr;
   std::map<std::string, Mount> mounts_;
+  // The fd table is shared across shards (any shard may open/close/use fds),
+  // so it lives under a mutex; entries are copied out, never held across
+  // suspension points.
+  mutable std::mutex fd_mu_;
   std::map<Fd, OpenFile> open_files_;
   Fd next_fd_ = 3;
 };

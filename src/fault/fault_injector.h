@@ -56,8 +56,12 @@ class FaultInjector : public StatSource {
   // a failed member, returning a live one).
   uint64_t noop_events() const { return noops_.value(); }
 
+  // Sharded systems run one injector per shard that has scheduled events;
+  // the suffix (".shard<i>") keeps the registry names distinct.
+  void set_stat_suffix(std::string suffix) { stat_suffix_ = std::move(suffix); }
+
   // StatSource
-  std::string stat_name() const override { return "fault.injector"; }
+  std::string stat_name() const override { return "fault.injector" + stat_suffix_; }
   std::string StatReport(bool with_histograms) const override;
   std::string StatJson() const override;
 
@@ -69,6 +73,7 @@ class FaultInjector : public StatSource {
   std::vector<PlannedEvent> events_;
   size_t applied_ = 0;
   bool started_ = false;
+  std::string stat_suffix_;
   Counter fails_;
   Counter returns_;
   Counter noops_;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/check.h"
+#include "sched/shard.h"
 
 namespace pfs {
 
@@ -24,13 +25,43 @@ void StatsSampler::Start() {
 Task<> StatsSampler::Loop() {
   for (;;) {
     co_await sched_->Sleep(interval_);
-    SampleNow();
+    if (group_ == nullptr) {
+      SampleNow();
+    } else {
+      co_await SampleSharded();
+    }
   }
 }
 
 void StatsSampler::SampleNow() {
   samples_.push_back(Sample{static_cast<double>(sched_->Now().nanos()) / 1e6,
                             stats_->ReportJson()});
+}
+
+Task<> StatsSampler::SampleSharded() {
+  const double t_ms = static_cast<double>(sched_->Now().nanos()) / 1e6;
+  std::string out = "{";
+  for (size_t i = 0; i < group_->size(); ++i) {
+    Scheduler* shard = group_->shard(i);
+    StatsRegistry* stats = stats_;
+    Scheduler* home = sched_;
+    // The non-affine sources ride with the sampler's own shard so every
+    // source appears exactly once. Named thunk, not a temporary: GCC 12
+    // double-destroys non-trivial temporaries passed as coroutine arguments
+    // in an await full-expression.
+    auto body = [stats, shard, home]() -> Task<std::string> {
+      co_return stats->ReportJsonOwned(shard, /*include_unowned=*/shard == home);
+    };
+    std::string frag = co_await CallOn<std::string>(sched_, shard, body);
+    if (!frag.empty()) {
+      if (out.size() > 1) {
+        out += ",";
+      }
+      out += frag;
+    }
+  }
+  out += "}";
+  samples_.push_back(Sample{t_ms, std::move(out)});
 }
 
 std::string StatsSampler::SeriesJson() const {

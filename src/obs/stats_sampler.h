@@ -19,6 +19,8 @@
 
 namespace pfs {
 
+class SchedulerGroup;
+
 class StatsSampler {
  public:
   StatsSampler(Scheduler* sched, StatsRegistry* stats, Duration interval);
@@ -27,6 +29,11 @@ class StatsSampler {
   StatsSampler& operator=(const StatsSampler&) = delete;
 
   Duration interval() const { return interval_; }
+
+  // Sharded systems: sample each shard's shard-affine sources *on that
+  // shard's loop* (via CallOn round trips) instead of reading foreign
+  // counters directly. Call before Start().
+  void set_group(SchedulerGroup* group) { group_ = group; }
 
   // Spawns the sampling daemon (transient: neither keeps Run() alive nor
   // leaves a finished record).
@@ -43,10 +50,12 @@ class StatsSampler {
 
  private:
   Task<> Loop();
+  Task<> SampleSharded();
 
   Scheduler* sched_;
   StatsRegistry* stats_;
   Duration interval_;
+  SchedulerGroup* group_ = nullptr;
 
   struct Sample {
     double t_ms;

@@ -29,8 +29,10 @@ Result<std::unique_ptr<PfsServer>> PfsServer::Start(const PfsServerConfig& confi
                                              server->loopback_.get(), config.nfs_workers);
   server->nfs_->Start();
 
-  // The on-line service loop.
-  server->server_thread_ = std::thread([sched] { sched->Run(); });
+  // The on-line service loop (all shards; one OS thread per shard when the
+  // config asks for more than one).
+  System* sys = server->system_.get();
+  server->server_thread_ = std::thread([sys] { sys->RunToCompletion(); });
   return server;
 }
 
@@ -47,10 +49,13 @@ Status PfsServer::Stop() {
   const Status sync = Submit([](ClientInterface* c) -> Task<Status> {
     co_return co_await c->SyncAll();
   });
-  system_->scheduler()->RequestStop();
+  system_->RequestStop();
   if (server_thread_.joinable()) {
     server_thread_.join();
   }
+  // The loops are down for good: turn any straggler Post() into a checked
+  // error instead of silently dropping the work.
+  system_->CloseSchedulers();
   return sync;
 }
 
@@ -61,11 +66,13 @@ PfsServer::~PfsServer() {
   if (!stopped_ && server_thread_.joinable()) {
     (void)Stop();
   }
-  // The loop has stopped; release suspended frames (NFS workers, daemons)
+  // The loops have stopped; release suspended frames (NFS workers, daemons)
   // while the components they reference — including the front end — are
   // still alive. System's own destructor would run too late for the NFS
   // members declared after it.
-  system_->scheduler()->DestroyAllThreads();
+  for (int s = 0; s < system_->shard_count(); ++s) {
+    system_->shard_scheduler(s)->DestroyAllThreads();
+  }
 }
 
 }  // namespace pfs

@@ -54,9 +54,9 @@ Result<SimulationResult> RunTraceSimulation(const PatsyConfig& config,
 
   replayer.Start();
   if (options.max_simulated_time.IsZero()) {
-    server.scheduler()->Run();
+    server.system().RunToCompletion();
   } else {
-    server.scheduler()->RunFor(options.max_simulated_time);
+    server.system().RunForDuration(options.max_simulated_time);
   }
   reporter_state.stop = true;
 

@@ -1,10 +1,13 @@
 #include "sched/scheduler.h"
 
+#include <thread>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 
 #include "core/log.h"
+#include "sched/shard.h"
 
 namespace pfs {
 
@@ -14,11 +17,21 @@ int64_t SteadyNowNanos() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// The scheduler whose loop is executing on this OS thread (set around every
+// coroutine step and posted function). With sharding, multiple schedulers may
+// take turns on one OS thread (lockstep mode), so this is per-step, not
+// per-thread-lifetime.
+thread_local Scheduler* g_current_scheduler = nullptr;
 }  // namespace
 
 RealClock::RealClock() : epoch_ns_(SteadyNowNanos()) {}
 
+int64_t RealClock::SteadyEpochNow() { return SteadyNowNanos(); }
+
 TimePoint RealClock::Now() const { return TimePoint::FromNanos(SteadyNowNanos() - epoch_ns_); }
+
+Scheduler* Scheduler::Current() { return g_current_scheduler; }
 
 const char* ThreadStateName(ThreadState s) {
   switch (s) {
@@ -75,7 +88,14 @@ Scheduler::Scheduler(std::unique_ptr<Clock> clock, uint64_t seed)
   PFS_CHECK(clock_ != nullptr);
 }
 
-Scheduler::~Scheduler() = default;
+Scheduler::~Scheduler() {
+  // A completion thread may still be between "work queued" and "Post()
+  // returned" when the loop drains that work and the owner tears us down;
+  // wait those posters out so they never touch freed members.
+  while (posters_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
 
 std::unique_ptr<Scheduler> Scheduler::CreateVirtual(uint64_t seed) {
   return std::make_unique<Scheduler>(std::make_unique<VirtualClock>(), seed);
@@ -98,9 +118,17 @@ Thread* Scheduler::SpawnImpl(std::string name, bool daemon, Task<> body, bool tr
   threads_.push_back(std::move(thread));
   if (!daemon) {
     ++live_non_daemon_;
+    if (group_ != nullptr) {
+      group_->NoteWorkBegun();
+    }
   }
   runnable_.push_back(t);
   return t;
+}
+
+void Scheduler::AttachToGroup(SchedulerGroup* group, uint32_t shard_index) {
+  group_ = group;
+  shard_index_ = shard_index;
 }
 
 size_t Scheduler::PickNext(size_t runnable_count) {
@@ -119,7 +147,9 @@ void Scheduler::RunOne() {
   ++context_switches_;
   std::coroutine_handle<> h = std::exchange(t->resume_point_, nullptr);
   PFS_CHECK_MSG(h != nullptr, "runnable thread with no resume point");
+  Scheduler* prev = std::exchange(g_current_scheduler, this);
   h.resume();
+  g_current_scheduler = prev;
   current_ = nullptr;
 
   if (t->body_.done()) {
@@ -136,6 +166,9 @@ void Scheduler::FinishThread(Thread* t) {
   if (!t->daemon_) {
     PFS_CHECK(live_non_daemon_ > 0);
     --live_non_daemon_;
+    if (group_ != nullptr) {
+      group_->NoteWorkDone();
+    }
   }
   t->done_.Notify();
   // Release the coroutine frame now; the Thread record stays for bookkeeping.
@@ -200,9 +233,31 @@ void Scheduler::DrainPosted() {
     std::lock_guard<std::mutex> lk(post_mu_);
     batch.swap(posted_);
   }
+  if (batch.empty()) {
+    return;
+  }
+  // Depth histogram: log2 bucket of the non-empty batch size.
+  size_t bucket = 0;
+  for (size_t d = batch.size(); d > 1; d = (d + 1) / 2) {
+    ++bucket;
+  }
+  if (bucket >= kMailboxDepthBuckets) {
+    bucket = kMailboxDepthBuckets - 1;
+  }
+  ++mailbox_depth_[bucket];
+  ++mailbox_drains_;
+  posts_received_ += batch.size();
+  Scheduler* prev = std::exchange(g_current_scheduler, this);
   for (auto& fn : batch) {
     fn();
+    if (group_ != nullptr) {
+      // Balances the NoteWorkBegun charged at Post() enqueue. Done *after* the
+      // function ran, so anything it spawned is already counted and the group
+      // cannot observe a spurious zero.
+      group_->NoteWorkDone();
+    }
   }
+  g_current_scheduler = prev;
 }
 
 bool Scheduler::NonDaemonAlive() const { return live_non_daemon_ > 0; }
@@ -226,6 +281,11 @@ void Scheduler::DestroyAllThreads() {
   }
   for (auto& t : threads_) {
     t->state_ = ThreadState::kFinished;
+  }
+  if (group_ != nullptr) {
+    for (size_t i = 0; i < live_non_daemon_; ++i) {
+      group_->NoteWorkDone();
+    }
   }
   live_non_daemon_ = 0;
   runnable_.clear();
@@ -251,13 +311,17 @@ void Scheduler::WaitRealUntil(TimePoint t) {
   if (remaining <= Duration()) {
     return;
   }
+  const int64_t wait_start = SteadyNowNanos();
   post_cv_.wait_for(lk, std::chrono::nanoseconds(remaining.nanos()),
                     [&] { return !posted_.empty() || stop_.load(); });
+  idle_ns_ += SteadyNowNanos() - wait_start;
 }
 
 void Scheduler::WaitRealForever() {
   std::unique_lock<std::mutex> lk(post_mu_);
+  const int64_t wait_start = SteadyNowNanos();
   post_cv_.wait(lk, [&] { return !posted_.empty() || stop_.load(); });
+  idle_ns_ += SteadyNowNanos() - wait_start;
 }
 
 void Scheduler::Run() {
@@ -339,11 +403,46 @@ void Scheduler::RequestStop() {
 }
 
 void Scheduler::Post(std::function<void()> fn) {
+  posters_.fetch_add(1, std::memory_order_acquire);
+  PFS_CHECK_MSG(!closed_.load(),
+                "Post() to a closed scheduler: the loop has shut down and this "
+                "work would never run");
+  Scheduler* sender = Current();
+  if (sender != nullptr && sender != this) {
+    ++sender->cross_posts_sent_;
+  }
+  if (group_ != nullptr) {
+    group_->NoteWorkBegun();
+  }
   {
     std::lock_guard<std::mutex> lk(post_mu_);
     posted_.push_back(std::move(fn));
   }
   post_cv_.notify_all();
+  if (group_ != nullptr) {
+    group_->NotifyPosted();
+  }
+  posters_.fetch_sub(1, std::memory_order_release);
+}
+
+void Scheduler::Close() { closed_.store(true); }
+
+void Scheduler::BeginExternalOp() {
+  pending_external_.fetch_add(1);
+  if (group_ != nullptr) {
+    group_->NoteWorkBegun();
+  }
+}
+
+void Scheduler::EndExternalOp() {
+  pending_external_.fetch_sub(1);
+  if (group_ != nullptr) {
+    group_->NoteWorkDone();
+    // The lockstep loop may be parked on "all external ops finished" even
+    // while other group work keeps the counter above zero — wake it
+    // explicitly so that predicate gets re-evaluated.
+    group_->NotifyPosted();
+  }
 }
 
 }  // namespace pfs

@@ -58,6 +58,12 @@ class VirtualClock final : public Clock {
 class RealClock final : public Clock {
  public:
   RealClock();
+  // Shared-epoch construction: every shard of a SchedulerGroup reads the
+  // same zero point, so cross-shard timestamps (trace spans, fault events)
+  // are directly comparable.
+  explicit RealClock(int64_t epoch_ns) : epoch_ns_(epoch_ns) {}
+  static int64_t SteadyEpochNow();
+
   TimePoint Now() const override;
   bool is_virtual() const override { return false; }
   void AdvanceTo(TimePoint) override {}
@@ -109,6 +115,12 @@ class Thread {
   TimePoint wake_time_;
   Notification done_;
 };
+
+class SchedulerGroup;
+
+// Mailbox-depth histogram: log2 buckets over the non-empty DrainPosted batch
+// sizes (bucket 0 = depth 1, bucket i = (2^(i-1), 2^i]).
+inline constexpr size_t kMailboxDepthBuckets = 17;
 
 class Scheduler {
  public:
@@ -166,17 +178,43 @@ class Scheduler {
   // This is how the on-line system injects external requests (paper §2:
   // "External events are also managed by the scheduler ... in a real
   // system"). `fn` must not block; typically it spawns a thread or signals an
-  // event.
+  // event. Posting to a Close()d scheduler is a checked error.
   void Post(std::function<void()> fn);
 
+  // Declares that no further Post() is coming: the owner has shut the loop
+  // down for good (server stopped, system torn down). A Post() after Close()
+  // used to be silently dropped — the enqueued work would never run; now it
+  // aborts with a message naming the scheduler, so the lost-work bug is loud
+  // at the call site instead of a hang somewhere downstream.
+  void Close();
+  bool closed() const { return closed_.load(); }
+
   void set_keep_alive(bool keep_alive) { keep_alive_ = keep_alive; }
+
+  // The scheduler currently executing on this OS thread (set while a
+  // coroutine step or a posted function runs), or nullptr outside scheduler
+  // control. Cross-shard helpers use it to find the calling coroutine's home
+  // shard.
+  static Scheduler* Current();
+
+  // -- sharding (SchedulerGroup) --------------------------------------------
+  uint32_t shard_index() const { return shard_index_; }
+  SchedulerGroup* group() { return group_; }
+
+  // -- per-shard scheduling statistics (the "sched" StatSource reads these;
+  // each counter is written only from this scheduler's own OS thread) -------
+  uint64_t posts_received() const { return posts_received_; }
+  uint64_t cross_posts_sent() const { return cross_posts_sent_; }
+  uint64_t mailbox_drains() const { return mailbox_drains_; }
+  int64_t idle_nanos() const { return idle_ns_; }
+  const uint64_t* mailbox_depth_buckets() const { return mailbox_depth_; }
 
   // Thread-safe in-flight accounting for work running on *other* OS threads
   // (the real disk driver's I/O executor). While any external op is pending,
   // Run() blocks for its completion Post() instead of declaring deadlock or
   // returning. Pair every Begin with exactly one End.
-  void BeginExternalOp() { pending_external_.fetch_add(1); }
-  void EndExternalOp() { pending_external_.fetch_sub(1); }
+  void BeginExternalOp();
+  void EndExternalOp();
 
   // Suspends the calling thread for `d`.
   auto Sleep(Duration d) { return SleepUntilAwaiter{this, Now() + d}; }
@@ -209,6 +247,7 @@ class Scheduler {
 
  private:
   friend class Event;
+  friend class SchedulerGroup;
 
   struct SleepUntilAwaiter {
     Scheduler* sched;
@@ -255,6 +294,16 @@ class Scheduler {
   void WaitRealUntil(TimePoint t);
   void WaitRealForever();
 
+  // SchedulerGroup hooks (see shard.h). Attach wires the shard into its
+  // group's global-quiescence accounting; ResetStop lets the group reuse a
+  // shard loop across multiple Run phases (setup, then the workload).
+  void AttachToGroup(SchedulerGroup* group, uint32_t shard_index);
+  void ResetStop() { stop_.store(false); }
+  bool HasPosted() {
+    std::lock_guard<std::mutex> lk(post_mu_);
+    return !posted_.empty();
+  }
+
   std::unique_ptr<Clock> clock_;
   Rng rng_;
   std::vector<std::unique_ptr<Thread>> threads_;
@@ -272,6 +321,22 @@ class Scheduler {
   std::mutex post_mu_;
   std::condition_variable post_cv_;
   std::deque<std::function<void()>> posted_;
+  std::atomic<bool> closed_{false};
+  // Posts still inside Post() on another OS thread; the destructor waits
+  // them out so a poster never touches a freed scheduler.
+  std::atomic<int> posters_{0};
+
+  // Sharding: set once by SchedulerGroup before any shard runs.
+  SchedulerGroup* group_ = nullptr;
+  uint32_t shard_index_ = 0;
+
+  // Per-shard scheduling stats; written only from this scheduler's own OS
+  // thread (cross_posts_sent_ is charged to the *sender's* scheduler).
+  uint64_t posts_received_ = 0;
+  uint64_t cross_posts_sent_ = 0;
+  uint64_t mailbox_drains_ = 0;
+  int64_t idle_ns_ = 0;
+  uint64_t mailbox_depth_[kMailboxDepthBuckets] = {};
 };
 
 }  // namespace pfs

@@ -1,0 +1,141 @@
+// Sharded scheduling: a SchedulerGroup owns N Scheduler shards, one per OS
+// core, so independent filesystems/volume trees dispatch in true parallel.
+//
+// Execution model by clock type:
+//   * Virtual clock (Patsy): shards step in deterministic lockstep on ONE OS
+//     thread. Each outer round runs every shard, in shard-index order, to
+//     quiescence at the shared current time, re-sweeping while cross-shard
+//     posts are still in flight (two-phase: run-to-quiescence, then advance
+//     every shard's clock to the global minimum next-event time). Same seed +
+//     same config => identical interleaving, exactly like the single-loop
+//     scheduler.
+//   * Real clock (on-line PFS, benches): each shard runs free on its own OS
+//     thread. A group-level work counter (live non-daemon threads + queued
+//     posts + pending external ops, across all shards) tells the monitor when
+//     everything has drained; it then stops and joins the shard threads.
+//
+// Cross-shard interaction goes exclusively through Scheduler::Post (each
+// shard's MPSC mailbox): Events/Notifications are shard-local, so a coroutine
+// on shard A never touches shard B's run queue directly. CallOn<T> packages
+// the full round trip: post a transient to the target shard, run the body
+// there, post the result back home.
+#ifndef PFS_SCHED_SHARD_H_
+#define PFS_SCHED_SHARD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace pfs {
+
+class SchedulerGroup {
+ public:
+  // Builds `shards` schedulers. Shard i seeds its RNG with
+  // seed + i * golden-ratio so shard streams are decorrelated but fully
+  // determined by the scenario seed; shard 0's stream equals a standalone
+  // Scheduler's with the same seed. Real clocks share one epoch so
+  // cross-shard timestamps are comparable.
+  SchedulerGroup(size_t shards, bool virtual_clock, uint64_t seed);
+  ~SchedulerGroup();
+
+  SchedulerGroup(const SchedulerGroup&) = delete;
+  SchedulerGroup& operator=(const SchedulerGroup&) = delete;
+
+  size_t size() const { return shards_.size(); }
+  Scheduler* shard(size_t i) { return shards_[i].get(); }
+
+  // Runs until no non-daemon work remains on any shard (or RequestStop).
+  // Virtual clock: deterministic lockstep. Real clock: one OS thread per
+  // shard. May be called again after it returns (e.g. setup phase, then the
+  // workload) — threaded runs reset the shards' stop flags on exit.
+  void Run();
+
+  // Runs for at most `d` of (virtual or wall) time.
+  void RunFor(Duration d);
+
+  // Thread-safe: stops every shard at its next scheduling point.
+  void RequestStop();
+
+  // -- hooks called by Scheduler (see scheduler.cc) --------------------------
+  // Group-level quiescence accounting: +1 per live non-daemon thread, queued
+  // post, and pending external op, across all shards.
+  void NoteWorkBegun() { work_.fetch_add(1); }
+  void NoteWorkDone();
+  // Wakes the lockstep loop when it is parked waiting for cross-shard work.
+  void NotifyPosted();
+
+ private:
+  void RunLockstep();
+  void RunLockstepFor(Duration d);
+  void RunThreaded(bool bounded, Duration d);
+
+  // One phase-1 pass: every shard, in index order, runs to quiescence at the
+  // current time; repeats while any mailbox is non-empty.
+  void Sweep();
+  bool AnyStop() const;
+  bool AnyPosted();
+  bool AnyKeepAlive() const;
+  bool AnyNonDaemonAlive() const;
+  bool MinWake(TimePoint* out) const;
+  void AdvanceAll(TimePoint t);
+  int64_t TotalPendingExternal() const;
+  void WaitForCrossShardWork(bool for_external);
+
+  std::vector<std::unique_ptr<Scheduler>> shards_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<int64_t> work_{0};
+};
+
+namespace detail {
+
+// Shared between the waiting coroutine (home shard) and the transient running
+// the body (target shard). The Notification belongs to the home scheduler, so
+// only the home shard ever touches it; the target hands the result back with
+// a Post.
+template <typename T>
+struct XCallState {
+  explicit XCallState(Scheduler* home) : done(home) {}
+  std::optional<T> value;
+  Notification done;
+};
+
+template <typename T, typename Fn>
+Task<> XShardRun(Scheduler* home, std::shared_ptr<XCallState<T>> st, Fn fn) {
+  st->value.emplace(co_await fn());
+  home->Post([st] { st->done.Notify(); });
+}
+
+}  // namespace detail
+
+// Runs `fn` (a callable returning Task<T>) on `target`'s shard and returns
+// its result on `home`'s. Must be awaited from a coroutine scheduled on
+// `home`. Same-shard calls collapse to a plain inline await — at
+// system.shards = 1 every CallOn is exactly the direct call it replaced.
+// The home shard counts the round trip as an external op, so its loop (and
+// the lockstep barrier) will not declare deadlock while the result is in
+// flight on another shard.
+template <typename T, typename Fn>
+Task<T> CallOn(Scheduler* home, Scheduler* target, Fn fn) {
+  if (target == home || target == nullptr) {
+    co_return co_await fn();
+  }
+  auto st = std::make_shared<detail::XCallState<T>>(home);
+  home->BeginExternalOp();
+  target->Post([target, home, st, fn]() mutable {
+    target->SpawnTransient("xshard", detail::XShardRun<T, Fn>(home, st, std::move(fn)));
+  });
+  co_await st->done.Wait();
+  home->EndExternalOp();
+  co_return std::move(*st->value);
+}
+
+}  // namespace pfs
+
+#endif  // PFS_SCHED_SHARD_H_

@@ -28,6 +28,22 @@ std::string StatsRegistry::ReportJson() const {
   return out;
 }
 
+std::string StatsRegistry::ReportJsonOwned(const Scheduler* owner,
+                                           bool include_unowned) const {
+  std::string out;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    const Scheduler* src_owner = owners_[i];
+    if (src_owner != owner && !(include_unowned && src_owner == nullptr)) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += "\"" + sources_[i]->stat_name() + "\":" + sources_[i]->StatJson();
+  }
+  return out;
+}
+
 void StatsRegistry::ResetIntervalAll() {
   for (StatSource* source : sources_) {
     source->StatResetInterval();

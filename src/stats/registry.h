@@ -10,6 +10,8 @@
 
 namespace pfs {
 
+class Scheduler;
+
 class StatSource {
  public:
   virtual ~StatSource() = default;
@@ -33,7 +35,13 @@ class StatSource {
 class StatsRegistry {
  public:
   // Registration is non-owning; sources must outlive the registry user.
-  void Register(StatSource* source) { sources_.push_back(source); }
+  // `owner` names the scheduler shard whose loop the source's counters are
+  // written from (nullptr = not shard-affine, safe to read from anywhere);
+  // the sharded StatsSampler uses it to read each source from its own shard.
+  void Register(StatSource* source, Scheduler* owner = nullptr) {
+    sources_.push_back(source);
+    owners_.push_back(owner);
+  }
 
   std::string ReportAll(bool with_histograms) const;
 
@@ -42,12 +50,19 @@ class StatsRegistry {
   // file instead of scraping the text reports.
   std::string ReportJson() const;
 
+  // The `"<stat_name>":<StatJson()>` fragments (comma-joined, no outer
+  // braces) of the sources owned by `owner` — plus the unowned ones when
+  // `include_unowned` is set. The sharded sampler collects one fragment
+  // string per shard and splices them into a single object.
+  std::string ReportJsonOwned(const Scheduler* owner, bool include_unowned) const;
+
   void ResetIntervalAll();
 
   const std::vector<StatSource*>& sources() const { return sources_; }
 
  private:
   std::vector<StatSource*> sources_;
+  std::vector<Scheduler*> owners_;  // parallel to sources_
 };
 
 }  // namespace pfs

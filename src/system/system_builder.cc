@@ -59,13 +59,8 @@ Result<std::vector<VolumePlan>> PlanVolumes(const SystemConfig& config) {
   const uint64_t disk_blocks = DiskBlocks(config);
 
   const bool defaulted = config.volumes.empty();
-  std::vector<VolumeSpec> specs = config.volumes;
-  if (defaulted) {
-    specs.resize(static_cast<size_t>(config.num_filesystems));
-    for (int f = 0; f < config.num_filesystems; ++f) {
-      specs[static_cast<size_t>(f)].members = {f % total_disks};
-    }
-  } else if (static_cast<int>(specs.size()) != config.num_filesystems) {
+  std::vector<VolumeSpec> specs = EffectiveVolumeSpecs(config);
+  if (!defaulted && static_cast<int>(specs.size()) != config.num_filesystems) {
     return Invalid("volumes: " + std::to_string(specs.size()) + " volume spec(s) for " +
                    std::to_string(config.num_filesystems) + " file systems");
   }
@@ -172,7 +167,7 @@ std::unique_ptr<StorageLayout> MakeLayout(Scheduler* sched, BlockDev dev,
   std::unique_ptr<StorageLayout> layout =
       family.make(LayoutContext{sched, std::move(dev), &config, fs_index});
   if (auto* source = dynamic_cast<StatSource*>(layout.get()); source != nullptr) {
-    stats->Register(source);
+    stats->Register(source, sched);
   }
   return layout;
 }
@@ -250,6 +245,11 @@ Status ValidateStack(const SystemConfig& config) {
     return Invalid("faults[" + std::to_string(fault_error->fault) + "]." +
                    fault_error->field + ": " + fault_error->message);
   }
+  // Shard placement checks (Parse maps the same errors back to scenario
+  // lines; programmatic configs get them here, keyed verbatim).
+  if (auto shard_error = CheckShardSpecs(config); shard_error.has_value()) {
+    return Invalid(shard_error->key + ": " + shard_error->message);
+  }
   return OkStatus();
 }
 
@@ -267,33 +267,53 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
   PFS_RETURN_IF_ERROR(ValidateStack(config));
   PFS_ASSIGN_OR_RETURN(std::vector<VolumePlan> plans, PlanVolumes(config));
   const QueueSchedPolicy queue_policy = *QueuePolicyRegistry::Find(config.queue_policy);
+  const int nshards = config.shards;
+  const std::vector<int> disk_owners = DiskShardOwners(config);
   auto system = std::unique_ptr<System>(new System());
   System& sys = *system;
   sys.config_ = config;
-  sys.sched_ = config.virtual_clock() ? Scheduler::CreateVirtual(config.seed)
-                                      : Scheduler::CreateReal(config.seed);
-  Scheduler* sched = sys.sched_.get();
+  if (nshards > 1) {
+    sys.group_ = std::make_unique<SchedulerGroup>(static_cast<size_t>(nshards),
+                                                  config.virtual_clock(), config.seed);
+  } else {
+    sys.sched_ = config.virtual_clock() ? Scheduler::CreateVirtual(config.seed)
+                                        : Scheduler::CreateReal(config.seed);
+  }
+  auto shard_sched = [&sys](int s) -> Scheduler* {
+    return sys.group_ != nullptr ? sys.group_->shard(static_cast<size_t>(s))
+                                 : sys.sched_.get();
+  };
+  for (int s = 0; s < nshards; ++s) {
+    auto sched_stats = std::make_unique<SchedStats>(shard_sched(s));
+    sys.stats_.Register(sched_stats.get(), shard_sched(s));
+    sys.sched_stats_.push_back(std::move(sched_stats));
+  }
 
   // Drivers: the only place where the two backends diverge structurally.
+  // Each disk lives on its owning shard (whole busses at a time under the
+  // simulator — DiskShardOwners guarantees bus-uniform owners there).
   if (config.simulated()) {
     int disk_index = 0;
     for (size_t b = 0; b < config.disks_per_bus.size(); ++b) {
-      auto bus = std::make_unique<ScsiBus>(sched, std::string("scsi") + std::to_string(b));
+      const int bus_owner =
+          config.disks_per_bus[b] > 0 ? disk_owners[static_cast<size_t>(disk_index)] : 0;
+      Scheduler* bus_sched = shard_sched(bus_owner);
+      auto bus = std::make_unique<ScsiBus>(bus_sched, std::string("scsi") + std::to_string(b));
       for (int d = 0; d < config.disks_per_bus[b]; ++d) {
         const std::string name = std::string("d") + std::to_string(disk_index);
-        auto disk = std::make_unique<DiskModel>(sched, name, config.disk_params, bus.get());
+        auto disk = std::make_unique<DiskModel>(bus_sched, name, config.disk_params, bus.get());
         disk->Start();
         auto driver =
-            std::make_unique<SimDiskDriver>(sched, name, disk.get(), bus.get(),
+            std::make_unique<SimDiskDriver>(bus_sched, name, disk.get(), bus.get(),
                                             queue_policy);
         driver->Start();
-        sys.stats_.Register(disk.get());
-        sys.stats_.Register(driver.get());
+        sys.stats_.Register(disk.get(), bus_sched);
+        sys.stats_.Register(driver.get(), bus_sched);
         sys.disks_.push_back(std::move(disk));
         sys.drivers_.push_back(std::move(driver));
         ++disk_index;
       }
-      sys.stats_.Register(bus.get());
+      sys.stats_.Register(bus.get(), bus_sched);
       sys.busses_.push_back(std::move(bus));
     }
   } else {
@@ -303,70 +323,98 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
     for (int i = 0; i < total_disks; ++i) {
       const std::string path =
           i == 0 ? config.image_path : config.image_path + "." + std::to_string(i);
+      Scheduler* disk_sched = shard_sched(disk_owners[static_cast<size_t>(i)]);
       PFS_ASSIGN_OR_RETURN(
           std::unique_ptr<FileBackedDriver> driver,
-          FileBackedDriver::Create(sched, std::string("d") + std::to_string(i), path, config.image_bytes,
-                                   sys.executor_.get(), queue_policy));
+          FileBackedDriver::Create(disk_sched, std::string("d") + std::to_string(i), path,
+                                   config.image_bytes, sys.executor_.get(), queue_policy));
       driver->Start();
-      sys.stats_.Register(driver.get());
+      sys.stats_.Register(driver.get(), disk_sched);
       sys.drivers_.push_back(std::move(driver));
     }
   }
 
-  // The server-wide cache: simulated caches track identity only, real caches
-  // hold real bytes (paper §2).
+  // Caches and data movers, one per shard: simulated caches track identity
+  // only, real caches hold real bytes (paper §2). The configured capacity is
+  // the whole server's budget, split evenly across shards.
   BufferCache::Config cache_config;
-  cache_config.capacity_bytes = config.cache_bytes;
+  cache_config.capacity_bytes =
+      std::max<uint64_t>(config.cache_bytes / static_cast<uint64_t>(nshards),
+                         kDefaultBlockSize);
   cache_config.allocate_memory = !config.simulated();
   cache_config.async_flush = config.async_flush;
-  sys.cache_ = std::make_unique<BufferCache>(
-      sched, cache_config,
-      (*ReplacementRegistry::Find(config.replacement))(config.seed),
-      (*FlushPolicyRegistry::Find(config.flush_policy))(
-          FlushPolicyOptions{config.nvram_bytes}));
-  sys.stats_.Register(sys.cache_.get());
-  if (config.simulated()) {
-    sys.mover_ = std::make_unique<SimDataMover>(sched, config.host);
-  } else {
-    sys.mover_ = std::make_unique<RealDataMover>();
+  for (int s = 0; s < nshards; ++s) {
+    auto cache = std::make_unique<BufferCache>(
+        shard_sched(s), cache_config,
+        (*ReplacementRegistry::Find(config.replacement))(config.seed +
+                                                         static_cast<uint64_t>(s)),
+        (*FlushPolicyRegistry::Find(config.flush_policy))(
+            FlushPolicyOptions{config.nvram_bytes}));
+    if (nshards > 1) {
+      cache->set_stat_suffix(".shard" + std::to_string(s));
+    }
+    sys.stats_.Register(cache.get(), shard_sched(s));
+    sys.caches_.push_back(std::move(cache));
+    if (config.simulated()) {
+      sys.movers_.push_back(std::make_unique<SimDataMover>(shard_sched(s), config.host));
+    } else {
+      sys.movers_.push_back(std::make_unique<RealDataMover>());
+    }
   }
 
   // Observability: the recorder hands out trace ids at the client roots, the
   // sink drains the per-thread rings into histograms + an exportable trace,
-  // and the sampler snapshots the whole registry on a period.
+  // and the sampler snapshots the whole registry on a period (hopping to
+  // each shard for its shard-affine sources when sharded).
   if (config.trace.enabled) {
-    sys.tracer_ = std::make_unique<TraceRecorder>(sched, config.trace.ring_capacity);
+    sys.tracer_ = std::make_unique<TraceRecorder>(shard_sched(0), config.trace.ring_capacity);
     sys.trace_sink_ = std::make_unique<TraceSink>(sys.tracer_.get());
     sys.stats_.Register(sys.trace_sink_.get());
   }
   if (config.trace.sample_ms > 0) {
-    sys.sampler_ = std::make_unique<StatsSampler>(sched, &sys.stats_,
+    sys.sampler_ = std::make_unique<StatsSampler>(shard_sched(0), &sys.stats_,
                                                   Duration::Millis(config.trace.sample_ms));
+    if (sys.group_ != nullptr) {
+      sys.sampler_->set_group(sys.group_.get());
+    }
   }
 
-  // File systems over their volumes. The default plan reduces to the seed's
-  // round-robin slices (the paper's server had 14 file systems on 10 disks);
-  // explicit volume specs compose slices into concat/striped/mirror devices.
-  sys.client_ = std::make_unique<LocalClient>(sched);
+  // File systems over their volumes, each pinned to its shard. The default
+  // plan reduces to the seed's round-robin slices (the paper's server had 14
+  // file systems on 10 disks); explicit volume specs compose slices into
+  // concat/striped/mirror devices. A slice whose disk belongs to another
+  // shard gets a CrossShardDevice proxy.
+  sys.client_ = std::make_unique<LocalClient>(shard_sched(0));
   sys.client_->set_trace_recorder(sys.tracer_.get());
   for (int f = 0; f < config.num_filesystems; ++f) {
     const VolumePlan& plan = plans[static_cast<size_t>(f)];
+    const int fshard = config.ShardForFs(f);
+    Scheduler* fsched = shard_sched(fshard);
+    sys.fs_shard_.push_back(fshard);
     const std::string vol_name = config.mount_prefix + std::to_string(f);
     std::vector<VolumeSliceRef> slices;
     for (const SlicePlan& s : plan.slices) {
-      slices.push_back(VolumeSliceRef{sys.drivers_[static_cast<size_t>(s.disk)].get(),
-                                      s.start_sector, s.nsectors});
+      BlockDevice* backing = sys.drivers_[static_cast<size_t>(s.disk)].get();
+      const int owner = disk_owners[static_cast<size_t>(s.disk)];
+      if (owner != fshard) {
+        auto proxy =
+            std::make_unique<CrossShardDevice>(fsched, shard_sched(owner), backing);
+        backing = proxy.get();
+        sys.cross_devices_.push_back(std::move(proxy));
+      }
+      slices.push_back(VolumeSliceRef{backing, s.start_sector, s.nsectors});
     }
     const VolumeKindFamily::Value& kind = *VolumeKindRegistry::Find(plan.spec.kind);
     std::unique_ptr<Volume> top =
-        kind.assemble(sched, vol_name, slices, plan.spec, sys.drivers_[0]->sector_bytes(),
+        kind.assemble(fsched, vol_name, slices, plan.spec, sys.drivers_[0]->sector_bytes(),
                       &sys.volume_parts_);
-    sys.stats_.Register(top.get());
+    sys.stats_.Register(top.get(), fsched);
     BlockDev dev(top.get(), kDefaultBlockSize);
     sys.fs_volumes_.push_back(std::move(top));
-    auto layout = MakeLayout(sched, std::move(dev), config, f, &sys.stats_);
-    auto fs = std::make_unique<FileSystem>(sched, layout.get(), sys.cache_.get(),
-                                           sys.mover_.get());
+    auto layout = MakeLayout(fsched, std::move(dev), config, f, &sys.stats_);
+    auto fs = std::make_unique<FileSystem>(fsched, layout.get(),
+                                           sys.caches_[static_cast<size_t>(fshard)].get(),
+                                           sys.movers_[static_cast<size_t>(fshard)].get());
     std::string mount = config.mount_prefix + std::to_string(f);
     sys.client_->AddMount(mount, fs.get());
     sys.mount_names_.push_back(std::move(mount));
@@ -375,32 +423,48 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
   }
 
   // The fault subsystem: every mirror gets a RebuildDaemon (so programmatic
-  // callers can fail/return members without a schedule); the injector is
-  // built only when the config carries fault events.
+  // callers can fail/return members without a schedule); injectors are built
+  // only when the config carries fault events — one per shard whose volumes
+  // have events, each replaying its shard's slice of the schedule on that
+  // shard's loop.
   sys.rebuild_daemons_.resize(sys.fs_volumes_.size());
   for (size_t f = 0; f < sys.fs_volumes_.size(); ++f) {
     auto* mirror = dynamic_cast<MirrorVolume*>(sys.fs_volumes_[f].get());
     if (mirror == nullptr) {
       continue;
     }
+    Scheduler* fsched = shard_sched(sys.fs_shard_[f]);
     RebuildDaemon::Options options;
     options.bw_kbps = config.rebuild_bw_kbps;
     options.copy_real_data = !config.simulated();
-    sys.rebuild_daemons_[f] = std::make_unique<RebuildDaemon>(sched, mirror, options);
-    sys.stats_.Register(sys.rebuild_daemons_[f].get());
+    sys.rebuild_daemons_[f] = std::make_unique<RebuildDaemon>(fsched, mirror, options);
+    sys.stats_.Register(sys.rebuild_daemons_[f].get(), fsched);
   }
   if (!config.faults.empty()) {
     // Validated above (CheckFaultSpecs), so resolution cannot fail.
     PFS_ASSIGN_OR_RETURN(const FaultSchedule schedule, FaultSchedule::FromConfig(config));
-    std::vector<FaultInjector::PlannedEvent> planned;
-    planned.reserve(schedule.size());
+    std::vector<std::vector<FaultInjector::PlannedEvent>> per_shard(
+        static_cast<size_t>(nshards));
     for (const FaultEvent& event : schedule.events()) {
       auto* mirror = dynamic_cast<MirrorVolume*>(sys.fs_volumes_[event.volume].get());
       PFS_CHECK_MSG(mirror != nullptr, "fault event targets a non-mirror volume");
-      planned.push_back({event, mirror, sys.rebuild_daemons_[event.volume].get()});
+      const int s = sys.fs_shard_[static_cast<size_t>(event.volume)];
+      per_shard[static_cast<size_t>(s)].push_back(
+          {event, mirror, sys.rebuild_daemons_[event.volume].get()});
     }
-    sys.injector_ = std::make_unique<FaultInjector>(sched, std::move(planned));
-    sys.stats_.Register(sys.injector_.get());
+    sys.injectors_.resize(static_cast<size_t>(nshards));
+    for (int s = 0; s < nshards; ++s) {
+      if (per_shard[static_cast<size_t>(s)].empty()) {
+        continue;
+      }
+      auto injector = std::make_unique<FaultInjector>(
+          shard_sched(s), std::move(per_shard[static_cast<size_t>(s)]));
+      if (nshards > 1) {
+        injector->set_stat_suffix(".shard" + std::to_string(s));
+      }
+      sys.stats_.Register(injector.get(), shard_sched(s));
+      sys.injectors_[static_cast<size_t>(s)] = std::move(injector);
+    }
   }
   return system;
 }
@@ -408,35 +472,93 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
 System::~System() {
   // Suspended threads (daemons, or clients cut off by a bounded run) hold
   // references into the components destroyed below; release their frames
-  // while everything is still alive.
-  if (sched_ != nullptr) {
+  // while everything is still alive. Shard threads are already joined by the
+  // time a System dies, so walking every shard here is single-threaded.
+  if (group_ != nullptr) {
+    for (size_t s = 0; s < group_->size(); ++s) {
+      group_->shard(s)->DestroyAllThreads();
+    }
+  } else if (sched_ != nullptr) {
     sched_->DestroyAllThreads();
   }
 }
 
-Status System::Setup() {
-  Status result(ErrorCode::kAborted);
-  sched_->Spawn("system.setup", [](System* sys, Status* out) -> Task<> {
-    const bool format = sys->config_.simulated() || sys->config_.format;
-    for (auto& layout : sys->layouts_) {
-      // Two separate co_awaits: GCC 12 miscompiles `cond ? co_await a
-      // : co_await b` (temporaries in the frame are double-destroyed).
-      Status status = OkStatus();
-      if (format) {
-        status = co_await layout->Format();
-      } else {
-        status = co_await layout->Mount();
-      }
-      if (!status.ok()) {
-        *out = status;
-        co_return;
-      }
+void System::RunToCompletion() {
+  if (group_ != nullptr) {
+    group_->Run();
+  } else {
+    sched_->Run();
+  }
+}
+
+void System::RunForDuration(Duration d) {
+  if (group_ != nullptr) {
+    group_->RunFor(d);
+  } else {
+    sched_->RunFor(d);
+  }
+}
+
+namespace {
+
+Task<> SetupLayouts(std::vector<StorageLayout*> layouts, bool format, Status* out) {
+  for (StorageLayout* layout : layouts) {
+    // Two separate co_awaits: GCC 12 miscompiles `cond ? co_await a
+    // : co_await b` (temporaries in the frame are double-destroyed).
+    Status status = OkStatus();
+    if (format) {
+      status = co_await layout->Format();
+    } else {
+      status = co_await layout->Mount();
     }
-    *out = OkStatus();
-  }(this, &result));
-  sched_->Run();
-  PFS_RETURN_IF_ERROR(result);
-  cache_->Start();
+    if (!status.ok()) {
+      *out = status;
+      co_return;
+    }
+  }
+  *out = OkStatus();
+}
+
+}  // namespace
+
+Status System::Setup() {
+  const bool format = config_.simulated() || config_.format;
+  if (group_ == nullptr) {
+    Status result(ErrorCode::kAborted);
+    std::vector<StorageLayout*> all;
+    for (auto& layout : layouts_) {
+      all.push_back(layout.get());
+    }
+    sched_->Spawn("system.setup", SetupLayouts(std::move(all), format, &result));
+    sched_->Run();
+    PFS_RETURN_IF_ERROR(result);
+  } else {
+    // One setup coroutine per shard, formatting that shard's layouts on that
+    // shard's loop (a layout can only be driven from its own shard).
+    std::vector<Status> results(group_->size(), OkStatus());
+    for (size_t s = 0; s < group_->size(); ++s) {
+      std::vector<StorageLayout*> shard_layouts;
+      for (size_t f = 0; f < layouts_.size(); ++f) {
+        if (fs_shard_[f] == static_cast<int>(s)) {
+          shard_layouts.push_back(layouts_[f].get());
+        }
+      }
+      if (shard_layouts.empty()) {
+        continue;
+      }
+      results[s] = Status(ErrorCode::kAborted);
+      group_->shard(s)->Spawn(
+          "system.setup." + std::to_string(s),
+          SetupLayouts(std::move(shard_layouts), format, &results[s]));
+    }
+    group_->Run();
+    for (const Status& result : results) {
+      PFS_RETURN_IF_ERROR(result);
+    }
+  }
+  for (auto& cache : caches_) {
+    cache->Start();
+  }
   for (auto& layout : layouts_) {
     layout->Start();
   }
@@ -445,8 +567,10 @@ Status System::Setup() {
       rebuild->Start();
     }
   }
-  if (injector_ != nullptr) {
-    injector_->Start();
+  for (auto& injector : injectors_) {
+    if (injector != nullptr) {
+      injector->Start();
+    }
   }
   if (trace_sink_ != nullptr) {
     // Drain on the sampling period when one is set, else often enough that

@@ -1,9 +1,16 @@
-// SystemBuilder: assembles a complete file-server — scheduler + clock,
-// drivers (simulated or file-backed), storage layouts, buffer cache, data
-// mover, file systems, client interface — from one SystemConfig. The same
+// SystemBuilder: assembles a complete file-server — scheduler shards + clock,
+// drivers (simulated or file-backed), storage layouts, buffer caches, data
+// movers, file systems, client interface — from one SystemConfig. The same
 // builder produces the simulator stack (Patsy) and the on-line stack (PFS);
 // the facades in patsy/ and online/ only add their mode-specific front ends
 // (trace replay, NFS loopback + OS threads).
+//
+// Sharding (config.shards): every file system, its volume tree, layout,
+// cache, and data mover are pinned to one scheduler shard; physical disks
+// (whole busses under the simulator) belong to the shard of the first file
+// system referencing them, and a file system reaching a foreign disk gets a
+// CrossShardDevice proxy spliced into that volume slice. shards == 1 builds
+// exactly the single-loop system of old.
 #ifndef PFS_SYSTEM_SYSTEM_BUILDER_H_
 #define PFS_SYSTEM_SYSTEM_BUILDER_H_
 
@@ -22,10 +29,13 @@
 #include "fault/rebuild_daemon.h"
 #include "fs/file_system.h"
 #include "layout/storage_layout.h"
+#include "obs/sched_stats.h"
 #include "obs/stats_sampler.h"
 #include "obs/trace.h"
+#include "sched/shard.h"
 #include "stats/registry.h"
 #include "system/system_config.h"
+#include "volume/cross_shard_device.h"
 #include "volume/volume.h"
 
 namespace pfs {
@@ -41,14 +51,58 @@ class System {
   System& operator=(const System&) = delete;
 
   // Formats (config.format or a simulated backend) or mounts every file
-  // system and starts the cache and layout daemons; runs the scheduler until
-  // setup completes. Call once, before serving.
+  // system and starts the cache and layout daemons; runs the scheduler(s)
+  // until setup completes. Call once, before serving.
   Status Setup();
 
   const SystemConfig& config() const { return config_; }
-  Scheduler* scheduler() { return sched_.get(); }
+
+  // Shard 0's loop — the client front end and the observability components
+  // live here. With shards == 1 this is the only loop, exactly the old
+  // single-scheduler accessor.
+  Scheduler* scheduler() { return group_ != nullptr ? group_->shard(0) : sched_.get(); }
+
+  // -- shard topology -------------------------------------------------------
+  int shard_count() const { return group_ != nullptr ? static_cast<int>(group_->size()) : 1; }
+  Scheduler* shard_scheduler(int s) {
+    return group_ != nullptr ? group_->shard(static_cast<size_t>(s)) : sched_.get();
+  }
+  // The shard file system `f` is pinned to, and that shard's loop. Spawn
+  // workload threads that target file system f on fs_scheduler(f); reaching
+  // it from another shard goes through LocalClient's cross-shard routing.
+  int fs_shard(int f) const { return fs_shard_[static_cast<size_t>(f)]; }
+  Scheduler* fs_scheduler(int f) { return shard_scheduler(fs_shard(f)); }
+  SchedulerGroup* scheduler_group() { return group_.get(); }
+  // Per-shard scheduler counters (steps, mailbox traffic, idle time) as a
+  // StatSource; read after the shard threads have quiesced.
+  SchedStats* sched_stats(int s) { return sched_stats_[static_cast<size_t>(s)].get(); }
+
+  // Drives every shard to quiescence: deterministic lockstep on the virtual
+  // clock, one OS thread per shard on the real clock. With shards == 1 these
+  // are exactly Scheduler::Run()/RunFor().
+  void RunToCompletion();
+  void RunForDuration(Duration d);
+  // Stops every shard's loop (thread-safe: callable from any OS thread).
+  void RequestStop() {
+    if (group_ != nullptr) {
+      group_->RequestStop();
+    } else {
+      sched_->RequestStop();
+    }
+  }
+  // Closes every shard: further Post() calls become checked errors instead
+  // of silently enqueueing work that will never run. Call after the final
+  // Run()/RunToCompletion() has returned.
+  void CloseSchedulers() {
+    for (int s = 0; s < shard_count(); ++s) {
+      shard_scheduler(s)->Close();
+    }
+  }
+
   LocalClient* client() { return client_.get(); }
-  BufferCache* cache() { return cache_.get(); }
+  // Shard 0's cache; sharded systems have one per shard.
+  BufferCache* cache() { return caches_.empty() ? nullptr : caches_[0].get(); }
+  BufferCache* shard_cache(int s) { return caches_[static_cast<size_t>(s)].get(); }
   StatsRegistry& stats() { return stats_; }
 
   int filesystem_count() const { return static_cast<int>(layouts_.size()); }
@@ -68,14 +122,27 @@ class System {
   const std::vector<std::unique_ptr<Volume>>& volumes() const { return fs_volumes_; }
 
   // The fault subsystem. Every mirror fs-volume gets a RebuildDaemon
-  // (nullptr for other kinds); the injector exists only when config.faults
-  // is non-empty. Both are started by Setup().
+  // (nullptr for other kinds); injectors exist only when config.faults is
+  // non-empty — one per shard that has scheduled events. Started by Setup().
   RebuildDaemon* rebuild_daemon(int fs_index) {
     return rebuild_daemons_[static_cast<size_t>(fs_index)].get();
   }
-  FaultInjector* fault_injector() { return injector_.get(); }
+  // The first shard's injector (the only one with shards == 1).
+  FaultInjector* fault_injector() {
+    for (auto& injector : injectors_) {
+      if (injector != nullptr) {
+        return injector.get();
+      }
+    }
+    return nullptr;
+  }
   bool fault_quiescent() const {
-    return injector_ == nullptr || injector_->quiescent();
+    for (const auto& injector : injectors_) {
+      if (injector != nullptr && !injector->quiescent()) {
+        return false;
+      }
+    }
+    return true;
   }
 
   std::string StatReport(bool with_histograms) { return stats_.ReportAll(with_histograms); }
@@ -98,6 +165,9 @@ class System {
   System() = default;
 
   SystemConfig config_;
+  // Exactly one of group_ (shards > 1) and sched_ (shards == 1) is set.
+  // Both precede every component so the loops are destroyed last.
+  std::unique_ptr<SchedulerGroup> group_;
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<IoExecutor> executor_;  // file-backed only
   std::vector<std::unique_ptr<ScsiBus>> busses_;
@@ -105,17 +175,18 @@ class System {
   std::vector<std::unique_ptr<QueueingDiskDriver>> drivers_;
   // Declaration order is destruction-safety order: layouts reference the
   // fs volumes, composite volumes reference their member slices, and every
-  // slice references a driver.
+  // slice references a driver (possibly through a cross-shard proxy).
+  std::vector<std::unique_ptr<CrossShardDevice>> cross_devices_;
   std::vector<std::unique_ptr<Volume>> volume_parts_;  // member slices of composites
   std::vector<std::unique_ptr<Volume>> fs_volumes_;    // one per file system
   std::vector<std::unique_ptr<StorageLayout>> layouts_;
-  std::unique_ptr<BufferCache> cache_;
-  std::unique_ptr<DataMover> mover_;
+  std::vector<std::unique_ptr<BufferCache>> caches_;  // one per shard
+  std::vector<std::unique_ptr<DataMover>> movers_;    // one per shard
   std::vector<std::unique_ptr<FileSystem>> filesystems_;
   // One slot per file system (null unless the volume is a mirror); the
-  // injector references the daemons and the volumes, so both come after.
+  // injectors reference the daemons and the volumes, so both come after.
   std::vector<std::unique_ptr<RebuildDaemon>> rebuild_daemons_;
-  std::unique_ptr<FaultInjector> injector_;
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;  // one per shard, may be null
   // Tracing rides the scheduler's threads and the request path; the sink
   // drains the recorder's rings, so recorder outlives sink.
   std::unique_ptr<TraceRecorder> tracer_;
@@ -123,6 +194,8 @@ class System {
   std::unique_ptr<StatsSampler> sampler_;
   std::unique_ptr<LocalClient> client_;
   std::vector<std::string> mount_names_;
+  std::vector<int> fs_shard_;  // one per file system
+  std::vector<std::unique_ptr<SchedStats>> sched_stats_;  // one per shard
   StatsRegistry stats_;
 };
 

@@ -239,6 +239,10 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
   std::map<size_t, FaultFieldLines> fault_lines;
   size_t max_fault_index = 0;
   bool any_fault = false;
+  // Which line set system.shards / each fs<i>.shard, so the post-parse
+  // CheckShardSpecs cross-checks can point at the offending line.
+  int shards_line = 0;
+  std::map<size_t, int> fs_shard_lines;
 
   std::stringstream lines(text);
   std::string raw_line;
@@ -347,6 +351,19 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
         return fail(parsed.status());
       }
       config.io_threads = static_cast<int>(*parsed);
+    } else if (key == "system.shards") {
+      // Range-checked here for the value shape, and again in CheckShardSpecs
+      // (which Validate also runs) so programmatic configs get the same
+      // rejection.
+      auto parsed = ParseUintMax(value, kMaxShards);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      if (*parsed < 1) {
+        return LineError(line_no, "system.shards: at least one shard is required");
+      }
+      config.shards = static_cast<int>(*parsed);
+      shards_line = line_no;
     } else if (key == "system.io_engine") {
       if (!IoEngineRegistry::Contains(value)) {
         return fail(IoEngineRegistry::UnknownNameError(key, value));
@@ -479,6 +496,19 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
         return LineError(line_no, "unknown key \"" + key + "\" (fault keys: at_ms, "
                                   "volume, member, action)");
       }
+    } else if (auto skey = ParseIndexedKey(key, "fs"); skey.has_value()) {
+      if (skey->field != "shard") {
+        return LineError(line_no, "unknown key \"" + key + "\" (fs keys: shard)");
+      }
+      auto parsed = ParseUintMax(value, kMaxShards - 1);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      if (config.fs_shards.size() <= skey->index) {
+        config.fs_shards.resize(skey->index + 1, -1);
+      }
+      config.fs_shards[skey->index] = static_cast<int>(*parsed);
+      fs_shard_lines[skey->index] = line_no;
     } else if (auto vkey = ParseIndexedKey(key, "volume"); vkey.has_value()) {
       any_volume = true;
       max_volume_index = std::max(max_volume_index, vkey->index);
@@ -557,6 +587,27 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
                            error->message);
     }
   }
+  if (auto error = CheckShardSpecs(config); error.has_value()) {
+    // Map the blamed key back to the line that set it. A violation can also
+    // arise from a key the scenario never wrote (a round-robin default pin
+    // conflicting with a mirror): blame the system.shards line then, since
+    // sharding introduced the conflict.
+    int line = 0;
+    if (auto skey = ParseIndexedKey(error->key, "fs"); skey.has_value()) {
+      if (auto it = fs_shard_lines.find(skey->index); it != fs_shard_lines.end()) {
+        line = it->second;
+      }
+    } else if (error->key == "system.shards") {
+      line = shards_line;
+    }
+    if (line == 0) {
+      line = shards_line;
+    }
+    if (line == 0) {
+      return Status(ErrorCode::kInvalidArgument, error->key + ": " + error->message);
+    }
+    return LineError(line, error->key + ": " + error->message);
+  }
   return config;
 }
 
@@ -567,6 +618,13 @@ std::string SystemConfig::ToString() const {
   out << "clock = " << ClockKindName(clock) << "\n";
   out << "seed = " << seed << "\n";
   out << "mount_prefix = " << mount_prefix << "\n";
+  out << "\n# scheduling\n";
+  out << "system.shards = " << shards << "\n";
+  for (size_t f = 0; f < fs_shards.size(); ++f) {
+    if (fs_shards[f] >= 0) {
+      out << "fs" << f << ".shard = " << fs_shards[f] << "\n";
+    }
+  }
   out << "\n# topology\n";
   out << "topology.disks_per_bus = " << JoinInts(disks_per_bus) << "\n";
   out << "topology.num_filesystems = " << num_filesystems << "\n";
@@ -621,6 +679,135 @@ std::string SystemConfig::ToString() const {
   out << "host.mem_bandwidth_bytes_per_sec = " << host.mem_bandwidth_bytes_per_sec << "\n";
   out << "host.per_op_cpu_ns = " << host.per_op_cpu.nanos() << "\n";
   return out.str();
+}
+
+std::vector<VolumeSpec> EffectiveVolumeSpecs(const SystemConfig& config) {
+  if (!config.volumes.empty()) {
+    return config.volumes;
+  }
+  int total_disks = 0;
+  for (int n : config.disks_per_bus) {
+    total_disks += n;
+  }
+  std::vector<VolumeSpec> specs(
+      static_cast<size_t>(std::max(config.num_filesystems, 0)));
+  if (total_disks <= 0) {
+    return specs;
+  }
+  for (int f = 0; f < config.num_filesystems; ++f) {
+    specs[static_cast<size_t>(f)].members = {f % total_disks};
+  }
+  return specs;
+}
+
+std::vector<int> DiskShardOwners(const SystemConfig& config) {
+  int total_disks = 0;
+  for (int n : config.disks_per_bus) {
+    total_disks += n;
+  }
+  std::vector<int> owner(static_cast<size_t>(std::max(total_disks, 0)), -1);
+  const std::vector<VolumeSpec> specs = EffectiveVolumeSpecs(config);
+  const int fs_count =
+      std::min(config.num_filesystems, static_cast<int>(specs.size()));
+  for (int f = 0; f < fs_count; ++f) {
+    const int s = config.ShardForFs(f);
+    for (int d : specs[static_cast<size_t>(f)].members) {
+      if (d >= 0 && d < total_disks && owner[static_cast<size_t>(d)] < 0) {
+        owner[static_cast<size_t>(d)] = s;
+      }
+    }
+  }
+  if (config.simulated()) {
+    // Whole busses at a time: the first claimed disk on a bus claims the bus,
+    // so one bus's DiskModel/ScsiBus/driver coroutines stay on one loop.
+    size_t base = 0;
+    for (int n : config.disks_per_bus) {
+      int bus_owner = -1;
+      for (int d = 0; d < n; ++d) {
+        if (owner[base + static_cast<size_t>(d)] >= 0) {
+          bus_owner = owner[base + static_cast<size_t>(d)];
+          break;
+        }
+      }
+      for (int d = 0; d < n; ++d) {
+        owner[base + static_cast<size_t>(d)] = bus_owner;
+      }
+      base += static_cast<size_t>(n);
+    }
+  }
+  for (int& o : owner) {
+    if (o < 0) {
+      o = 0;
+    }
+  }
+  return owner;
+}
+
+std::optional<ShardSpecError> CheckShardSpecs(const SystemConfig& config) {
+  if (config.shards < 1 || config.shards > kMaxShards) {
+    return ShardSpecError{"system.shards",
+                          "must be between 1 and " + std::to_string(kMaxShards) + ", got " +
+                              std::to_string(config.shards)};
+  }
+  const std::string valid_shards =
+      config.shards == 1 ? std::string("the only valid shard is 0")
+                         : "valid shards are 0.." + std::to_string(config.shards - 1);
+  for (size_t f = 0; f < config.fs_shards.size(); ++f) {
+    const int s = config.fs_shards[f];
+    if (s < 0) {
+      continue;  // round-robin default
+    }
+    const std::string key = "fs" + std::to_string(f) + ".shard";
+    if (static_cast<int>(f) >= config.num_filesystems) {
+      return ShardSpecError{key, "file system index " + std::to_string(f) +
+                                     " outside topology.num_filesystems = " +
+                                     std::to_string(config.num_filesystems)};
+    }
+    if (s >= config.shards) {
+      return ShardSpecError{key, "shard " + std::to_string(s) +
+                                     " does not exist (system.shards = " +
+                                     std::to_string(config.shards) + "; " + valid_shards + ")"};
+    }
+  }
+  if (config.shards == 1) {
+    return std::nullopt;  // single loop: nothing can cross shards
+  }
+  if (config.simulated() && !config.virtual_clock()) {
+    return ShardSpecError{"system.shards",
+                          "the sharded simulated backend needs the virtual clock (a real "
+                          "clock would step disk mechanisms on multiple loops "
+                          "nondeterministically)"};
+  }
+  // A mirror's members must all live on the mirror's own shard: mirror writes
+  // fan out to every member and the rebuild daemon copies member-to-member,
+  // so a cross-shard member would put every replica write through a proxy
+  // round trip — reject it as a layout error instead.
+  const std::vector<VolumeSpec> specs = EffectiveVolumeSpecs(config);
+  if (static_cast<int>(specs.size()) != config.num_filesystems) {
+    return std::nullopt;  // malformed volume list: PlanVolumes reports it
+  }
+  const std::vector<int> owners = DiskShardOwners(config);
+  for (int f = 0; f < config.num_filesystems; ++f) {
+    const VolumeSpec& spec = specs[static_cast<size_t>(f)];
+    if (spec.kind != "mirror") {
+      continue;
+    }
+    const int fs_shard = config.ShardForFs(f);
+    for (int d : spec.members) {
+      if (d < 0 || d >= static_cast<int>(owners.size())) {
+        continue;  // out-of-range member: PlanVolumes reports it
+      }
+      if (owners[static_cast<size_t>(d)] != fs_shard) {
+        return ShardSpecError{
+            "fs" + std::to_string(f) + ".shard",
+            "mirror volume" + std::to_string(f) + " member disk " + std::to_string(d) +
+                " is owned by shard " + std::to_string(owners[static_cast<size_t>(d)]) +
+                " but the mirror is pinned to shard " + std::to_string(fs_shard) +
+                "; mirror members must be shard-local (" + valid_shards + ")"};
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 Result<ScenarioArgs> ParseScenarioArgs(int argc, char** argv) {

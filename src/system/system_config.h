@@ -67,6 +67,26 @@ struct SystemConfig {
   ClockKind clock = ClockKind::kAuto;
   uint64_t seed = 42;
 
+  // -- scheduling ----------------------------------------------------------
+  // OS-core shards ("system.shards"): each shard is its own scheduler loop
+  // (run queue, timer wheel, RNG stream), and with a real clock its own OS
+  // thread. 1 = today's single-loop scheduler, bit-for-bit. Virtual-clock
+  // shards step in deterministic lockstep (see sched/shard.h).
+  int shards = 1;
+  // Explicit per-file-system pins ("fs<i>.shard"); -1 (or an index past the
+  // end) means the round-robin default f % shards.
+  std::vector<int> fs_shards;
+
+  // The shard file system f is pinned to.
+  int ShardForFs(int f) const {
+    const size_t i = static_cast<size_t>(f);
+    const int pinned = i < fs_shards.size() ? fs_shards[i] : -1;
+    if (pinned >= 0) {
+      return pinned;
+    }
+    return shards > 0 ? f % shards : 0;
+  }
+
   // -- topology (defaults: the paper's Allspice rebuild) -------------------
   // Simulated: one ScsiBus per entry, entry = disks on that bus.
   // File-backed: busses are not modelled; the total is the disk count.
@@ -154,6 +174,34 @@ struct SystemConfig {
   static Result<SystemConfig> Parse(const std::string& text);
   std::string ToString() const;
 };
+
+// The largest accepted "system.shards" value.
+inline constexpr int kMaxShards = 64;
+
+// Effective per-file-system volume specs: config.volumes, or the default
+// round-robin single-disk spec per file system when none are given. Shared
+// by SystemBuilder's placement planning and the shard cross-checks.
+std::vector<VolumeSpec> EffectiveVolumeSpecs(const SystemConfig& config);
+
+// Which shard owns each physical disk (index = flattened bus-major disk
+// index): the shard of the first file system whose volume references the
+// disk. The simulated backend assigns whole busses at a time — one bus's
+// DiskModel/driver coroutines all live on one loop — so every disk on a bus
+// inherits the bus's first claimant. Unreferenced disks (and busses) fall to
+// shard 0. A file system pinned elsewhere reaches foreign disks through a
+// CrossShardDevice proxy.
+std::vector<int> DiskShardOwners(const SystemConfig& config);
+
+// Shard cross-checks shared by Parse (which maps `key` back to the scenario
+// line that set it) and SystemBuilder::Validate (which reports `key`
+// verbatim): shard counts in [1, kMaxShards], fs pins inside the shard and
+// file-system ranges, virtual-clock-only simulated sharding, and
+// shard-local mirror members.
+struct ShardSpecError {
+  std::string key;  // "system.shards" or "fs<i>.shard"
+  std::string message;
+};
+std::optional<ShardSpecError> CheckShardSpecs(const SystemConfig& config);
 
 // Reads and parses one scenario file; errors are prefixed with the path.
 Result<SystemConfig> LoadScenarioFile(const std::string& path);

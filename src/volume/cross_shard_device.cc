@@ -1,0 +1,30 @@
+#include "volume/cross_shard_device.h"
+
+namespace pfs {
+
+CrossShardDevice::CrossShardDevice(Scheduler* home, Scheduler* target, BlockDevice* inner)
+    : home_(home),
+      target_(target),
+      inner_(inner),
+      total_sectors_(inner->total_sectors()),
+      sector_bytes_(inner->sector_bytes()) {}
+
+Task<Status> CrossShardDevice::Read(uint64_t sector, uint32_t count, std::span<std::byte> out) {
+  // The span stays valid for the whole round trip: the caller is suspended on
+  // the home shard until the target's completion post lands, and only the
+  // target-side coroutine touches the bytes in between.
+  BlockDevice* inner = inner_;
+  // Named thunk, not a temporary: GCC 12 double-destroys non-trivial
+  // temporaries passed as coroutine arguments in an await full-expression.
+  auto body = [inner, sector, count, out]() { return inner->Read(sector, count, out); };
+  co_return co_await CallOn<Status>(home_, target_, body);
+}
+
+Task<Status> CrossShardDevice::Write(uint64_t sector, uint32_t count,
+                                     std::span<const std::byte> in) {
+  BlockDevice* inner = inner_;
+  auto body = [inner, sector, count, in]() { return inner->Write(sector, count, in); };
+  co_return co_await CallOn<Status>(home_, target_, body);
+}
+
+}  // namespace pfs

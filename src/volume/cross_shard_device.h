@@ -1,0 +1,44 @@
+// A BlockDevice proxy that carries requests to the shard owning the backing
+// device. SystemBuilder swaps one of these into a volume slice whenever a
+// filesystem is pinned to a different shard than the physical disk backing
+// that slice (e.g. a striped volume whose members were first claimed by a
+// filesystem on another shard). The volume layer stays shard-oblivious: it
+// awaits Read/Write as usual, and the proxy does the CallOn round trip.
+#ifndef PFS_VOLUME_CROSS_SHARD_DEVICE_H_
+#define PFS_VOLUME_CROSS_SHARD_DEVICE_H_
+
+#include "sched/shard.h"
+#include "volume/block_device.h"
+
+namespace pfs {
+
+class CrossShardDevice final : public BlockDevice {
+ public:
+  // `home` is the shard the calling volume/filesystem runs on; `target` owns
+  // `inner`. Geometry is captured at construction (it is immutable below the
+  // volume layer) so the hot accessors never cross shards.
+  CrossShardDevice(Scheduler* home, Scheduler* target, BlockDevice* inner);
+
+  Task<Status> Read(uint64_t sector, uint32_t count, std::span<std::byte> out) override;
+  Task<Status> Write(uint64_t sector, uint32_t count, std::span<const std::byte> in) override;
+
+  uint64_t total_sectors() const override { return total_sectors_; }
+  uint32_t sector_bytes() const override { return sector_bytes_; }
+  // Queue depth lives on the owning shard; reading it here would race. Report
+  // "unknown" — mirror steering across shards falls back to round-robin.
+  size_t QueueDepthHint() const override { return 0; }
+
+  BlockDevice* inner() { return inner_; }
+  Scheduler* target() { return target_; }
+
+ private:
+  Scheduler* home_;
+  Scheduler* target_;
+  BlockDevice* inner_;
+  uint64_t total_sectors_;
+  uint32_t sector_bytes_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_VOLUME_CROSS_SHARD_DEVICE_H_

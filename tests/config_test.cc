@@ -91,6 +91,27 @@ TEST(ConfigRoundTripTest, EveryFieldSurvives) {
   EXPECT_EQ(reparsed->rebuild_bw_kbps, 768u);
 }
 
+TEST(ConfigRoundTripTest, ShardKeysSurvive) {
+  auto parsed = SystemConfig::Parse(
+      "backend = simulated\n"
+      "topology.disks_per_bus = 2, 2\n"
+      "topology.num_filesystems = 4\n"
+      "system.shards = 4\n"
+      "fs1.shard = 2\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->shards, 4);
+  EXPECT_EQ(parsed->ShardForFs(0), 0);  // round-robin default
+  EXPECT_EQ(parsed->ShardForFs(1), 2);  // explicit pin
+  EXPECT_EQ(parsed->ShardForFs(3), 3);
+
+  const std::string text = parsed->ToString();
+  EXPECT_NE(text.find("system.shards = 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("fs1.shard = 2"), std::string::npos) << text;
+  auto reparsed = SystemConfig::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(text, reparsed->ToString());
+}
+
 // Randomized configs: Parse(ToString(c)) must reproduce the serialization
 // and the validation verdict, whether or not the config is actually
 // buildable.

@@ -9,6 +9,7 @@
 #include "sched/channel.h"
 #include "sched/event.h"
 #include "sched/scheduler.h"
+#include "sched/shard.h"
 #include "sched/sync.h"
 #include "sched/task.h"
 #include "sched/time.h"
@@ -441,6 +442,149 @@ TEST(SchedulerTest, LiveThreadCountTracksFinish) {
   EXPECT_EQ(sched->live_thread_count(), 2u);
   sched->Run();
   EXPECT_EQ(sched->live_thread_count(), 0u);
+}
+
+// -- Post-after-shutdown contract -------------------------------------------
+
+TEST(SchedulerTest, PostBetweenRunsStillExecutes) {
+  // Run() returning does not mean the loop is gone: work posted between runs
+  // must execute on the next Run(), not vanish.
+  auto sched = Scheduler::CreateVirtual();
+  sched->Spawn("a", ShortTask(sched.get()));
+  sched->Run();
+  int ran = 0;
+  sched->Post([&] { ++ran; });
+  sched->Run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SchedulerDeathTest, PostAfterCloseIsACheckedError) {
+  // Once the owner declares the loop down for good (Close()), a straggler
+  // Post() — the old silent-drop race — must fail loudly instead of
+  // enqueueing work that will never run.
+  auto sched = Scheduler::CreateVirtual();
+  sched->Spawn("a", ShortTask(sched.get()));
+  sched->Run();
+  sched->Close();
+  EXPECT_DEATH(sched->Post([] {}), "closed scheduler");
+}
+
+// -- SchedulerGroup: sharded loops ------------------------------------------
+
+// `tag` by value: the coroutine frame outlives the caller's argument.
+Task<> PingAcrossShards(Scheduler* home, Scheduler* target, int rounds,
+                        std::vector<std::string>* log, std::string tag) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await home->Sleep(Duration::Micros(100 + 37 * i));
+    auto body = [target, i]() -> Task<int> {
+      co_await target->Sleep(Duration::Micros(50));
+      co_return i * 10 + static_cast<int>(target->shard_index());
+    };
+    const int got = co_await CallOn<int>(home, target, body);
+    log->push_back(tag + ":" + std::to_string(got));
+  }
+}
+
+std::vector<std::string> RunLockstepPingMesh(uint64_t seed) {
+  SchedulerGroup group(4, /*virtual_clock=*/true, seed);
+  // Lockstep runs every shard on this OS thread, so one shared log is safe
+  // and captures the global interleaving.
+  std::vector<std::string> log;
+  for (size_t s = 0; s < group.size(); ++s) {
+    Scheduler* home = group.shard(s);
+    Scheduler* target = group.shard((s + 1) % group.size());
+    home->Spawn("ping" + std::to_string(s),
+                PingAcrossShards(home, target, 5, &log, "s" + std::to_string(s)));
+  }
+  group.Run();
+  return log;
+}
+
+TEST(SchedulerGroupTest, LockstepCrossShardRunsAreDeterministic) {
+  const std::vector<std::string> a = RunLockstepPingMesh(99);
+  const std::vector<std::string> b = RunLockstepPingMesh(99);
+  EXPECT_EQ(a.size(), 20u);  // 4 shards x 5 rounds
+  EXPECT_EQ(a, b);
+}
+
+TEST(SchedulerGroupTest, CallOnReturnsValueAndCountsCrossPosts) {
+  SchedulerGroup group(2, /*virtual_clock=*/true, 7);
+  Scheduler* home = group.shard(0);
+  Scheduler* target = group.shard(1);
+  int result = 0;
+  home->Spawn("caller", [](Scheduler* h, Scheduler* t, int* out) -> Task<> {
+    auto body = [t]() -> Task<int> {
+      co_await t->Sleep(Duration::Millis(1));
+      co_return 41 + static_cast<int>(t->shard_index());
+    };
+    *out = co_await CallOn<int>(h, t, body);
+  }(home, target, &result));
+  group.Run();
+  EXPECT_EQ(result, 42);
+  // The hop out and the completion hop home both went through mailboxes.
+  EXPECT_GE(target->posts_received(), 1u);
+  EXPECT_GE(home->posts_received(), 1u);
+  EXPECT_GE(target->cross_posts_sent(), 1u);
+}
+
+TEST(SchedulerGroupTest, SameShardCallOnCollapsesInline) {
+  SchedulerGroup group(2, /*virtual_clock=*/true, 7);
+  Scheduler* home = group.shard(0);
+  int result = 0;
+  home->Spawn("caller", [](Scheduler* h, int* out) -> Task<> {
+    auto body = [h]() -> Task<int> { co_return static_cast<int>(h->shard_index()) + 1; };
+    *out = co_await CallOn<int>(h, h, body);
+  }(home, &result));
+  group.Run();
+  EXPECT_EQ(result, 1);
+  EXPECT_EQ(home->posts_received(), 0u);  // no mailbox round trip
+}
+
+TEST(SchedulerGroupTest, ThreadedRealClockShardsCompleteAcrossOsThreads) {
+  SchedulerGroup group(2, /*virtual_clock=*/false, 3);
+  int results[2] = {0, 0};
+  for (int s = 0; s < 2; ++s) {
+    Scheduler* home = group.shard(static_cast<size_t>(s));
+    Scheduler* target = group.shard(static_cast<size_t>(1 - s));
+    home->Spawn("w" + std::to_string(s), [](Scheduler* h, Scheduler* t, int* out) -> Task<> {
+      co_await h->Sleep(Duration::Millis(2));
+      auto body = [t]() -> Task<int> {
+        co_await t->Sleep(Duration::Millis(1));
+        co_return static_cast<int>(t->shard_index()) + 100;
+      };
+      *out = co_await CallOn<int>(h, t, body);
+    }(home, target, &results[s]));
+  }
+  group.Run();
+  EXPECT_EQ(results[0], 101);
+  EXPECT_EQ(results[1], 100);
+}
+
+TEST(SchedulerGroupTest, GroupOfOneMatchesStandaloneSchedule) {
+  // shards = 1 must reproduce the single-scheduler world exactly: the same
+  // seed yields the same interleaving as a standalone Scheduler.
+  const auto spawn_all = [](Scheduler* sched, std::vector<int>* order) {
+    for (int id = 0; id < 4; ++id) {
+      sched->Spawn("t" + std::to_string(id),
+                   [](Scheduler* s, int me, std::vector<int>* log) -> Task<> {
+                     for (int i = 0; i < 8; ++i) {
+                       log->push_back(me);
+                       co_await s->Yield();
+                     }
+                   }(sched, id, order));
+    }
+  };
+  std::vector<int> a;
+  auto standalone = Scheduler::CreateVirtual(12345);
+  spawn_all(standalone.get(), &a);
+  standalone->Run();
+
+  std::vector<int> b;
+  SchedulerGroup group(1, /*virtual_clock=*/true, 12345);
+  spawn_all(group.shard(0), &b);
+  group.Run();
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace

@@ -14,6 +14,11 @@ A check may instead set "check": "exists" — it then only asserts the dotted
 metric is present and numeric in the matched line (schema gate for fields
 like latency percentiles whose values are host-dependent).
 
+A check may carry "skip_if": {"metric": ..., "below": N} — it is skipped
+when the matched line's metric is numeric and below N. Used to gate
+host-shape-dependent expectations, e.g. multi-core speedups that only
+materialize when the runner actually has the cores ("host_cores").
+
 Usage:
   python3 tools/check_bench.py --baseline bench/baselines/BENCH_baseline.json [--dir DIR]
   python3 tools/check_bench.py --baseline ... --update   # rewrite expectations
@@ -74,6 +79,13 @@ def run_checks(baseline, bench_dir, update):
         if err:
             failures.append("%s: %s" % (name, err))
             continue
+        skip = check.get("skip_if")
+        if skip is not None:
+            gate = dig(line, skip["metric"])
+            if isinstance(gate, (int, float)) and gate < skip["below"]:
+                print("%-40s skipped (%s=%s < %s)"
+                      % (name, skip["metric"], gate, skip["below"]))
+                continue
         value = dig(line, check["metric"])
         if check.get("check") == "exists":
             # Presence gate, no value comparison: shields schema fields (e.g.
