@@ -19,6 +19,7 @@ BufferCache::BufferCache(Scheduler* sched, Config config,
       flusher_wakeup_(sched) {
   PFS_CHECK(replacement_ != nullptr);
   PFS_CHECK(flush_policy_ != nullptr);
+  BindHomeShard(sched_);  // public entry points assert shard affinity
   const size_t blocks = static_cast<size_t>(config_.capacity_bytes / config_.block_size);
   PFS_CHECK_MSG(blocks >= 4, "cache too small");
   if (config_.allocate_memory) {
@@ -53,6 +54,7 @@ void BufferCache::Start() {
 }
 
 void BufferCache::SetFileHint(uint32_t fs_id, uint64_t ino, FileCacheHint hint) {
+  PFS_ASSERT_SHARD();
   if (hint == FileCacheHint::kNormal) {
     file_hints_.erase({fs_id, ino});
   } else {
@@ -72,6 +74,7 @@ void BufferCache::Touch(CacheBlock* block) {
 }
 
 Task<Result<CacheBlock*>> BufferCache::GetBlock(const BlockId& id, GetMode mode) {
+  PFS_ASSERT_SHARD();
   PFS_CHECK_MSG(started_, "GetBlock before Start");
   for (;;) {
     auto it = map_.find(id);
@@ -193,6 +196,7 @@ void BufferCache::FreeBlock(CacheBlock* block) {
 }
 
 Task<Status> BufferCache::MarkDirty(CacheBlock* block) {
+  PFS_ASSERT_SHARD();
   PFS_CHECK_MSG(block->pin_count > 0, "MarkDirty on unpinned block");
   ++block->dirty_version;
   if (block->state == BlockState::kDirty) {
@@ -217,6 +221,7 @@ Task<Status> BufferCache::MarkDirty(CacheBlock* block) {
 }
 
 void BufferCache::Release(CacheBlock* block) {
+  PFS_ASSERT_SHARD();
   PFS_CHECK(block->pin_count > 0);
   --block->pin_count;
   if (block->pin_count == 0 && block->state == BlockState::kDirty && !block->doomed) {
@@ -309,6 +314,7 @@ void BufferCache::TransitionToClean(CacheBlock* block) {
 }
 
 Task<Status> BufferCache::FlushFile(uint32_t fs_id, uint64_t ino) {
+  PFS_ASSERT_SHARD();
   std::vector<CacheBlock*> victims;
   for (CacheBlock& b : dirty_) {
     if (b.id.fs_id == fs_id && b.id.ino == ino && !b.io_in_progress && !b.doomed &&
@@ -324,6 +330,7 @@ Task<Status> BufferCache::FlushFile(uint32_t fs_id, uint64_t ino) {
 }
 
 Task<Status> BufferCache::FlushBlock(CacheBlock* block) {
+  PFS_ASSERT_SHARD();
   if (block->state != BlockState::kDirty || block->io_in_progress || block->doomed) {
     co_return OkStatus();
   }
@@ -333,6 +340,7 @@ Task<Status> BufferCache::FlushBlock(CacheBlock* block) {
 }
 
 Task<Status> BufferCache::FlushOldest(bool whole_file) {
+  PFS_ASSERT_SHARD();
   CacheBlock* oldest = OldestFlushableDirty();
   if (oldest == nullptr) {
     co_return Status(ErrorCode::kNotFound, "no flushable dirty block");
@@ -344,6 +352,7 @@ Task<Status> BufferCache::FlushOldest(bool whole_file) {
 }
 
 Task<Status> BufferCache::SyncAll() {
+  PFS_ASSERT_SHARD();
   // Flush file by file until no flushable dirty blocks remain.
   for (;;) {
     const Status status = co_await FlushOldest(/*whole_file=*/true);
@@ -355,6 +364,7 @@ Task<Status> BufferCache::SyncAll() {
 }
 
 void BufferCache::InvalidateFile(uint32_t fs_id, uint64_t ino, uint64_t from_block) {
+  PFS_ASSERT_SHARD();
   std::vector<CacheBlock*> victims;
   for (auto& [id, block] : map_) {
     if (id.fs_id == fs_id && id.ino == ino && id.block_no >= from_block) {

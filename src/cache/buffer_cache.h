@@ -23,6 +23,7 @@
 #include "cache/replacement.h"
 #include "core/result.h"
 #include "core/units.h"
+#include "sched/affinity.h"
 #include "sched/scheduler.h"
 #include "stats/histogram.h"
 #include "stats/registry.h"
@@ -46,7 +47,11 @@ enum class GetMode : uint8_t {
   kOverwrite,  // caller will overwrite the whole block; no fill needed
 };
 
-class BufferCache : public StatSource {
+// Shard-affine (ShardAffine): sharded systems build one cache per shard, and
+// every public entry point asserts the caller runs on the cache's own loop —
+// LRU lists and block states interleave at scheduling points, so a foreign
+// shard's access is a logical race TSAN cannot see.
+class BufferCache : public StatSource, public ShardAffine {
  public:
   struct Config {
     uint32_t block_size = kDefaultBlockSize;

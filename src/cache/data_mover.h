@@ -11,6 +11,7 @@
 #include <span>
 
 #include "core/check.h"
+#include "sched/affinity.h"
 #include "sched/scheduler.h"
 #include "sched/task.h"
 
@@ -22,7 +23,10 @@ struct HostModel {
   Duration per_op_cpu = Duration::Micros(150);        // request decode/dispatch cost
 };
 
-class DataMover {
+// Shard-affine (ShardAffine): sharded systems build one mover per shard
+// (SimDataMover sleeps on its shard's clock; RealDataMover is bound by
+// SystemBuilder), and Move/ChargeOpCost assert the caller's loop.
+class DataMover : public ShardAffine {
  public:
   virtual ~DataMover() = default;
 
@@ -38,14 +42,20 @@ class DataMover {
 // Patsy's mover: pure time accounting.
 class SimDataMover final : public DataMover {
  public:
-  SimDataMover(Scheduler* sched, HostModel host) : sched_(sched), host_(host) {}
+  SimDataMover(Scheduler* sched, HostModel host) : sched_(sched), host_(host) {
+    BindHomeShard(sched_, "data_mover");
+  }
 
   Task<> Move(std::span<std::byte>, std::span<const std::byte>, uint64_t bytes) override {
+    PFS_ASSERT_SHARD();
     co_await sched_->Sleep(Duration::Nanos(
         static_cast<int64_t>(bytes * 1000000000ULL / host_.mem_bandwidth_bytes_per_sec)));
   }
 
-  Task<> ChargeOpCost() override { co_await sched_->Sleep(host_.per_op_cpu); }
+  Task<> ChargeOpCost() override {
+    PFS_ASSERT_SHARD();
+    co_await sched_->Sleep(host_.per_op_cpu);
+  }
 
  private:
   Scheduler* sched_;
@@ -58,6 +68,7 @@ class RealDataMover final : public DataMover {
  public:
   Task<> Move(std::span<std::byte> dst, std::span<const std::byte> src,
               uint64_t bytes) override {
+    PFS_ASSERT_SHARD();
     if (!dst.empty() && !src.empty() && bytes > 0) {
       PFS_CHECK(dst.size() >= bytes && src.size() >= bytes);
       std::memcpy(dst.data(), src.data(), bytes);

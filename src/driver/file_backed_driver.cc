@@ -64,6 +64,10 @@ Task<> FileBackedDriver::DispatchBatch(std::span<IoRequest* const> batch) {
     const double us =
         std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(elapsed)
             .count();
+    // Synchronous handoff: the submitting coroutine frame (which owns descs
+    // and batch_done) stays suspended on batch_done.Wait() below until this
+    // callback runs, so the by-ref captures cannot dangle.
+    // pfs-lint: allow(ref-capture-escape)
     s->Post([this, s, batch, &descs, &batch_done, us] {
       for (size_t i = 0; i < batch.size(); ++i) {
         batch[i]->result = descs[i].result;

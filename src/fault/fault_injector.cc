@@ -8,6 +8,7 @@ namespace pfs {
 
 FaultInjector::FaultInjector(Scheduler* sched, std::vector<PlannedEvent> events)
     : sched_(sched), events_(std::move(events)) {
+  BindHomeShard(sched_);
   for (const PlannedEvent& planned : events_) {
     PFS_CHECK(planned.mirror != nullptr);
     PFS_CHECK_MSG(planned.event.action != FaultAction::kReturn || planned.rebuild != nullptr,
@@ -33,6 +34,7 @@ Task<> FaultInjector::Run() {
 }
 
 void FaultInjector::Apply(const PlannedEvent& planned) {
+  PFS_ASSERT_SHARD();
   MirrorVolume* mirror = planned.mirror;
   const size_t member = planned.event.member;
   switch (planned.event.action) {

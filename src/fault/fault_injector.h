@@ -19,13 +19,16 @@
 
 #include "fault/fault_schedule.h"
 #include "fault/rebuild_daemon.h"
+#include "sched/affinity.h"
 #include "sched/scheduler.h"
 #include "stats/registry.h"
 #include "volume/volume.h"
 
 namespace pfs {
 
-class FaultInjector : public StatSource {
+// Shard-affine (ShardAffine): each injector drives mirrors owned by one
+// shard, so Apply asserts it runs on that shard's loop.
+class FaultInjector : public StatSource, public ShardAffine {
  public:
   // One schedule entry resolved against the assembled system. `rebuild` may
   // be null only when the schedule holds no "return" event for the volume

@@ -10,6 +10,7 @@ namespace pfs {
 RebuildDaemon::RebuildDaemon(Scheduler* sched, MirrorVolume* mirror, Options options)
     : sched_(sched), mirror_(mirror), options_(options), work_(sched) {
   PFS_CHECK(mirror_ != nullptr);
+  BindHomeShard(sched_);
   PFS_CHECK_MSG(options_.chunk_sectors > 0, "rebuild chunk must be at least one sector");
   if (options_.copy_real_data) {
     buffer_.resize(static_cast<size_t>(options_.chunk_sectors) * mirror_->sector_bytes());
@@ -23,6 +24,7 @@ void RebuildDaemon::Start() {
 }
 
 void RebuildDaemon::RequestRebuild(size_t member) {
+  PFS_ASSERT_SHARD();
   PFS_CHECK(member < mirror_->member_count());
   if (active_ && active_member_ == member) {
     return;  // already being rebuilt

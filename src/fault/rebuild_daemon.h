@@ -15,6 +15,7 @@
 #include <deque>
 #include <vector>
 
+#include "sched/affinity.h"
 #include "sched/event.h"
 #include "sched/scheduler.h"
 #include "stats/registry.h"
@@ -22,7 +23,9 @@
 
 namespace pfs {
 
-class RebuildDaemon : public StatSource {
+// Shard-affine (ShardAffine): the daemon, its mirror, and the debt ledger all
+// live on the mirror's shard; RequestRebuild asserts the caller's loop.
+class RebuildDaemon : public StatSource, public ShardAffine {
  public:
   struct Options {
     uint32_t bw_kbps = 4096;      // copy-bandwidth cap; 0 = uncapped

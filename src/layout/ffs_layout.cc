@@ -27,6 +27,7 @@ uint64_t FfsLayout::InodeTableBlock(uint64_t ino) const {
 }
 
 Task<Status> FfsLayout::Format() {
+  PFS_ASSERT_SHARD();
   groups_.assign(ngroups_, Group{});
   for (Group& g : groups_) {
     g.inode_used.assign(config_.inodes_per_group, false);
@@ -58,6 +59,7 @@ Task<Status> FfsLayout::Format() {
 }
 
 Task<Status> FfsLayout::Mount() {
+  PFS_ASSERT_SHARD();
   if (mounted_) {
     co_return OkStatus();
   }
@@ -109,6 +111,7 @@ Task<Status> FfsLayout::Mount() {
 }
 
 Task<Status> FfsLayout::Sync() {
+  PFS_ASSERT_SHARD();
   PFS_CHECK(mounted_);
   // Inode attribute write-back.
   for (auto& [ino, inode] : inode_cache_) {
@@ -149,12 +152,14 @@ Task<Status> FfsLayout::Sync() {
 }
 
 Task<Status> FfsLayout::Unmount() {
+  PFS_ASSERT_SHARD();
   PFS_CO_RETURN_IF_ERROR(co_await Sync());
   mounted_ = false;
   co_return OkStatus();
 }
 
 Task<Result<uint64_t>> FfsLayout::AllocInode(FileType type) {
+  PFS_ASSERT_SHARD();
   PFS_CHECK(mounted_);
   for (uint32_t attempt = 0; attempt < ngroups_; ++attempt) {
     const uint32_t g = (next_group_hint_ + attempt) % ngroups_;
@@ -303,11 +308,13 @@ Task<Status> FfsLayout::PersistDirtyChunks(uint64_t ino) {
 }
 
 Task<Result<Inode>> FfsLayout::ReadInode(uint64_t ino) {
+  PFS_ASSERT_SHARD();
   PFS_CO_ASSIGN_OR_RETURN(Inode * inode, co_await GetInode(ino));
   co_return *inode;
 }
 
 Task<Status> FfsLayout::WriteInode(const Inode& inode) {
+  PFS_ASSERT_SHARD();
   auto it = inode_cache_.find(inode.ino);
   if (it == inode_cache_.end()) {
     co_return Status(ErrorCode::kNotFound, "WriteInode of unknown inode");
@@ -331,6 +338,7 @@ Task<Status> FfsLayout::FreeInodeNow(uint64_t ino) {
 }
 
 Task<Status> FfsLayout::FreeInode(uint64_t ino) {
+  PFS_ASSERT_SHARD();
   if (busy_inos_.contains(ino)) {
     free_pending_.insert(ino);  // mid-flush; free when the write retires
     co_return OkStatus();
@@ -352,6 +360,7 @@ Task<Status> FfsLayout::EndInoWrite(uint64_t ino) {
 
 Task<Status> FfsLayout::ReadFileBlock(uint64_t ino, uint64_t file_block,
                                       std::span<std::byte> out) {
+  PFS_ASSERT_SHARD();
   auto bmap_it = bmap_cache_.find(ino);
   if (bmap_it == bmap_cache_.end()) {
     bmap_it = bmap_cache_.emplace(ino, BlockMap(config_.block_size)).first;
@@ -371,6 +380,7 @@ Task<Status> FfsLayout::ReadFileBlock(uint64_t ino, uint64_t file_block,
 }
 
 Task<Status> FfsLayout::WriteFileBlocks(uint64_t ino, std::span<CacheBlock* const> blocks) {
+  PFS_ASSERT_SHARD();
   if (blocks.empty()) {
     co_return OkStatus();
   }
@@ -405,6 +415,7 @@ Task<Status> FfsLayout::WriteFileBlocksImpl(uint64_t ino, std::span<CacheBlock* 
 }
 
 Task<Status> FfsLayout::TruncateBlocks(uint64_t ino, uint64_t from_block) {
+  PFS_ASSERT_SHARD();
   PFS_CO_ASSIGN_OR_RETURN(Inode * inode, co_await GetInode(ino));
   auto bmap_it = bmap_cache_.find(ino);
   if (bmap_it == bmap_cache_.end()) {

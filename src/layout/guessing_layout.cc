@@ -23,6 +23,7 @@ uint64_t GuessingLayout::AddrOf(uint64_t ino, uint64_t file_block) {
 }
 
 Task<Result<uint64_t>> GuessingLayout::AllocInode(FileType type) {
+  PFS_ASSERT_SHARD();
   PFS_CHECK(mounted_);
   const uint64_t ino = next_ino_++;
   Inode inode;
@@ -37,6 +38,7 @@ Task<Result<uint64_t>> GuessingLayout::AllocInode(FileType type) {
 }
 
 Task<Result<Inode>> GuessingLayout::ReadInode(uint64_t ino) {
+  PFS_ASSERT_SHARD();
   auto it = inodes_.find(ino);
   if (it == inodes_.end()) {
     co_return Status(ErrorCode::kNotFound, "unknown inode");
@@ -51,6 +53,7 @@ Task<Result<Inode>> GuessingLayout::ReadInode(uint64_t ino) {
 }
 
 Task<Status> GuessingLayout::WriteInode(const Inode& inode) {
+  PFS_ASSERT_SHARD();
   auto it = inodes_.find(inode.ino);
   if (it == inodes_.end()) {
     co_return Status(ErrorCode::kNotFound, "unknown inode");
@@ -60,6 +63,7 @@ Task<Status> GuessingLayout::WriteInode(const Inode& inode) {
 }
 
 Task<Status> GuessingLayout::FreeInode(uint64_t ino) {
+  PFS_ASSERT_SHARD();
   inodes_.erase(ino);
   base_addr_.erase(ino);
   inode_charged_.erase(ino);
@@ -68,6 +72,7 @@ Task<Status> GuessingLayout::FreeInode(uint64_t ino) {
 
 Task<Status> GuessingLayout::ReadFileBlock(uint64_t ino, uint64_t file_block,
                                            std::span<std::byte> out) {
+  PFS_ASSERT_SHARD();
   if (!out.empty()) {
     std::memset(out.data(), 0, out.size());  // guessed data is zeroes
   }
@@ -76,6 +81,7 @@ Task<Status> GuessingLayout::ReadFileBlock(uint64_t ino, uint64_t file_block,
 
 Task<Status> GuessingLayout::WriteFileBlocks(uint64_t ino,
                                              std::span<CacheBlock* const> blocks) {
+  PFS_ASSERT_SHARD();
   for (const CacheBlock* b : blocks) {
     PFS_CO_RETURN_IF_ERROR(co_await dev_.Write(
         AddrOf(ino, b->id.block_no),
@@ -85,6 +91,7 @@ Task<Status> GuessingLayout::WriteFileBlocks(uint64_t ino,
 }
 
 Task<Status> GuessingLayout::TruncateBlocks(uint64_t ino, uint64_t from_block) {
+  PFS_ASSERT_SHARD();
   (void)ino;
   (void)from_block;
   co_return OkStatus();  // nothing to account: space is guessed, not managed

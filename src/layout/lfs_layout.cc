@@ -334,6 +334,7 @@ Task<Status> LfsLayout::PersistFileMetadata(uint64_t ino, bool for_cleaner) {
 // -- StorageLayout interface -------------------------------------------------
 
 Task<Result<uint64_t>> LfsLayout::AllocInode(FileType type) {
+  PFS_ASSERT_SHARD();
   PFS_CHECK(mounted_);
   for (uint64_t i = 0; i < imap_.size(); ++i) {
     const uint64_t ino = 1 + (next_ino_hint_ - 1 + i) % (imap_.size() - 1);
@@ -353,11 +354,13 @@ Task<Result<uint64_t>> LfsLayout::AllocInode(FileType type) {
 }
 
 Task<Result<Inode>> LfsLayout::ReadInode(uint64_t ino) {
+  PFS_ASSERT_SHARD();
   PFS_CO_ASSIGN_OR_RETURN(Inode * inode, co_await GetInode(ino));
   co_return *inode;
 }
 
 Task<Status> LfsLayout::WriteInode(const Inode& inode) {
+  PFS_ASSERT_SHARD();
   PFS_CHECK(mounted_);
   auto it = inode_cache_.find(inode.ino);
   if (it == inode_cache_.end()) {
@@ -382,6 +385,7 @@ Task<Status> LfsLayout::FreeInodeNow(uint64_t ino) {
 }
 
 Task<Status> LfsLayout::FreeInode(uint64_t ino) {
+  PFS_ASSERT_SHARD();
   if (busy_inos_.contains(ino)) {
     // A flush for this file is suspended mid-append and holds pointers into
     // the inode/bmap caches. Defer the free until it retires (Unix unlink
@@ -406,6 +410,7 @@ Task<Status> LfsLayout::EndInoWrite(uint64_t ino) {
 
 Task<Status> LfsLayout::ReadFileBlock(uint64_t ino, uint64_t file_block,
                                       std::span<std::byte> out) {
+  PFS_ASSERT_SHARD();
   PFS_CO_ASSIGN_OR_RETURN(BlockMap * bmap, co_await GetBmap(ino));
   PFS_CO_RETURN_IF_ERROR(
       co_await EnsureChunkLoaded(ino, bmap, file_block / bmap->entries_per_chunk()));
@@ -421,6 +426,7 @@ Task<Status> LfsLayout::ReadFileBlock(uint64_t ino, uint64_t file_block,
 }
 
 Task<Status> LfsLayout::WriteFileBlocks(uint64_t ino, std::span<CacheBlock* const> blocks) {
+  PFS_ASSERT_SHARD();
   if (blocks.empty()) {
     co_return OkStatus();
   }
@@ -462,6 +468,7 @@ Task<Status> LfsLayout::PersistFileMetadataGuarded(uint64_t ino, bool for_cleane
 }
 
 Task<Status> LfsLayout::TruncateBlocks(uint64_t ino, uint64_t from_block) {
+  PFS_ASSERT_SHARD();
   PFS_CO_ASSIGN_OR_RETURN(Inode * inode, co_await GetInode(ino));
   PFS_CO_ASSIGN_OR_RETURN(BlockMap * bmap, co_await GetBmap(ino));
   // Load every chunk that may contain mappings to free.
@@ -489,6 +496,7 @@ Task<Status> LfsLayout::TruncateBlocks(uint64_t ino, uint64_t from_block) {
 // -- lifecycle ----------------------------------------------------------------
 
 Task<Status> LfsLayout::Format() {
+  PFS_ASSERT_SHARD();
   imap_.assign(config_.max_inodes, kNullAddr);
   segments_.assign(geo_.nsegments, SegmentInfo{});
   summaries_.assign(geo_.nsegments, {});
@@ -644,6 +652,7 @@ Task<Status> LfsLayout::ReadCheckpoint() {
 }
 
 Task<Status> LfsLayout::Mount() {
+  PFS_ASSERT_SHARD();
   if (mounted_) {
     co_return OkStatus();
   }
@@ -671,6 +680,7 @@ Task<Status> LfsLayout::Mount() {
 }
 
 Task<Status> LfsLayout::Sync() {
+  PFS_ASSERT_SHARD();
   PFS_CHECK(mounted_);
   // Persist every inode whose cached attributes may be newer than the log.
   std::vector<uint64_t> inos;
@@ -688,6 +698,7 @@ Task<Status> LfsLayout::Sync() {
 }
 
 Task<Status> LfsLayout::Unmount() {
+  PFS_ASSERT_SHARD();
   PFS_CO_RETURN_IF_ERROR(co_await Sync());
   mounted_ = false;
   co_return OkStatus();

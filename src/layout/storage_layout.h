@@ -17,11 +17,15 @@
 #include "core/result.h"
 #include "layout/inode.h"
 #include "layout/types.h"
+#include "sched/affinity.h"
 #include "sched/task.h"
 
 namespace pfs {
 
-class StorageLayout {
+// Shard-affine (ShardAffine): a layout's allocation maps, inode tables, and
+// log state belong to its filesystem's shard. MakeLayout binds the home
+// scheduler; the concrete layouts assert on every virtual entry point.
+class StorageLayout : public ShardAffine {
  public:
   virtual ~StorageLayout() = default;
 

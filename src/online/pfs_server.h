@@ -55,6 +55,9 @@ class PfsServer {
     std::promise<Status> promise;
     std::future<Status> future = promise.get_future();
     Scheduler* sched = system_->scheduler();
+    // Synchronous handoff: Submit blocks on future.get() until RunAndFulfill
+    // sets the promise, so &promise outlives every use.
+    // pfs-lint: allow(ref-capture-escape)
     sched->Post([this, sched, fn = std::move(fn), &promise]() mutable {
       // Transient: completion travels through the promise, nobody joins the
       // thread, and a long-lived server must not accumulate request records.

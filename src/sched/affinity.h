@@ -1,0 +1,101 @@
+// Shard-affinity checking: runtime ownership assertions for shard-pinned
+// components.
+//
+// PR 8's sharded scheduler created a bug class the sanitizers are blind to:
+// on the virtual clock every shard steps in deterministic lockstep on ONE OS
+// thread, so a component touched from the wrong shard is a *logical* race —
+// two shards interleave at scheduling points instead of instructions — that
+// TSAN can never see. The contract is simple: a component pinned to shard S
+// may only be entered from a coroutine (or posted function) running on S's
+// scheduler loop; foreign shards must route through Scheduler::Post,
+// CallOn, or a CrossShardDevice proxy, all of which land the work on the
+// home loop before it touches the component.
+//
+// ShardAffine is the mixin that carries the pin, and PFS_ASSERT_SHARD() is
+// the entry-point assertion. A violation aborts with both shard ids (home
+// and caller) and the component's stat-source name, so the report reads as
+// "who was touched from where", not just a stack trace.
+//
+// Cost model:
+//   * Release builds (CMAKE_BUILD_TYPE=Release): the macro compiles to
+//     nothing — hot paths pay zero cost, not even a branch.
+//   * Every other build type: one load + two compares against a
+//     process-wide cached enable flag. The checks are ON by default in
+//     Debug builds; elsewhere they are armed with PFS_AFFINITY_CHECK=1 in
+//     the environment (PFS_AFFINITY_CHECK=0 force-disables, Debug
+//     included).
+#ifndef PFS_SCHED_AFFINITY_H_
+#define PFS_SCHED_AFFINITY_H_
+
+#include "sched/scheduler.h"
+
+namespace pfs {
+
+// Process-wide switch for the compiled-in checks. Resolved once from the
+// environment (PFS_AFFINITY_CHECK=1/0) with a build-type default, then
+// cached; SetAffinityChecksForTesting overrides the cache so death tests
+// can arm the checks without mutating the environment.
+bool AffinityChecksEnabled();
+void SetAffinityChecksForTesting(bool enabled);
+
+// Mixin for components whose state belongs to exactly one scheduler shard.
+// Bind once at construction (components receive their home scheduler there)
+// and sprinkle PFS_ASSERT_SHARD() over the public entry points.
+class ShardAffine {
+ public:
+  virtual ~ShardAffine() = default;
+
+  // Pins the component to `home`'s loop. nullptr (or never binding) keeps
+  // the component unpinned: every access passes, which is the right
+  // behavior for components that predate sharding in a test harness.
+  // `label` names the component in violation reports when it is not a
+  // StatSource (StatSources report their stat_name(), which wins).
+  void BindHomeShard(Scheduler* home, const char* label = nullptr) {
+    affinity_home_ = home;
+    if (label != nullptr) {
+      affinity_label_ = label;
+    }
+  }
+  Scheduler* home_shard() const { return affinity_home_; }
+
+  // The assertion body behind PFS_ASSERT_SHARD(). Accesses from outside
+  // scheduler control (the main thread during assembly and stat collection)
+  // pass: only a coroutine or posted function running on the *wrong* loop
+  // is a violation — that is the interleaving-at-scheduling-points race the
+  // checks exist to catch.
+  void AssertShardAffinityAt(const char* file, int line) const {
+    if (!AffinityChecksEnabled()) {
+      return;
+    }
+    Scheduler* current = Scheduler::Current();
+    if (affinity_home_ == nullptr || current == nullptr || current == affinity_home_) {
+      return;
+    }
+    ReportAffinityViolation(file, line, current);
+  }
+
+ private:
+  // Aborts with home/caller shard ids and the component's stat-source name
+  // (recovered via dynamic_cast, so the hot path stores no string).
+  [[noreturn]] void ReportAffinityViolation(const char* file, int line,
+                                            Scheduler* current) const;
+
+  Scheduler* affinity_home_ = nullptr;
+  const char* affinity_label_ = nullptr;  // static-storage label, not owned
+};
+
+// Entry-point assertion for ShardAffine components: use inside member
+// functions (asserts on `this`). Compiled to nothing in Release builds.
+#ifdef PFS_ENABLE_AFFINITY_CHECKS
+#define PFS_ASSERT_SHARD() this->AssertShardAffinityAt(__FILE__, __LINE__)
+// Same check against an explicit component (free functions, call sites
+// outside the component's own members).
+#define PFS_ASSERT_SHARD_OF(component) (component)->AssertShardAffinityAt(__FILE__, __LINE__)
+#else
+#define PFS_ASSERT_SHARD() ((void)0)
+#define PFS_ASSERT_SHARD_OF(component) ((void)0)
+#endif
+
+}  // namespace pfs
+
+#endif  // PFS_SCHED_AFFINITY_H_

@@ -91,10 +91,12 @@ Scheduler::Scheduler(std::unique_ptr<Clock> clock, uint64_t seed)
 Scheduler::~Scheduler() {
   // A completion thread may still be between "work queued" and "Post()
   // returned" when the loop drains that work and the owner tears us down;
-  // wait those posters out so they never touch freed members.
-  while (posters_.load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
-  }
+  // wait those posters out so they never touch freed members. A condvar
+  // wait, not a spin-yield: the final decrement in Post() notifies while
+  // holding post_mu_, so once this predicate is observably true the poster
+  // holds no lock and touches nothing further.
+  std::unique_lock<std::mutex> lk(post_mu_);
+  post_cv_.wait(lk, [this] { return posters_ == 0; });
 }
 
 std::unique_ptr<Scheduler> Scheduler::CreateVirtual(uint64_t seed) {
@@ -403,7 +405,10 @@ void Scheduler::RequestStop() {
 }
 
 void Scheduler::Post(std::function<void()> fn) {
-  posters_.fetch_add(1, std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lk(post_mu_);
+    ++posters_;
+  }
   PFS_CHECK_MSG(!closed_.load(),
                 "Post() to a closed scheduler: the loop has shut down and this "
                 "work would never run");
@@ -422,7 +427,15 @@ void Scheduler::Post(std::function<void()> fn) {
   if (group_ != nullptr) {
     group_->NotifyPosted();
   }
-  posters_.fetch_sub(1, std::memory_order_release);
+  // Drop the poster mark last, notifying while still inside the lock: the
+  // destructor may free this scheduler the instant it observes zero, and
+  // that observation requires post_mu_ — so this thread is provably done
+  // with the object before the memory can go away.
+  {
+    std::lock_guard<std::mutex> lk(post_mu_);
+    --posters_;
+    post_cv_.notify_all();
+  }
 }
 
 void Scheduler::Close() { closed_.store(true); }

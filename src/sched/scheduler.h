@@ -322,9 +322,11 @@ class Scheduler {
   std::condition_variable post_cv_;
   std::deque<std::function<void()>> posted_;
   std::atomic<bool> closed_{false};
-  // Posts still inside Post() on another OS thread; the destructor waits
-  // them out so a poster never touches a freed scheduler.
-  std::atomic<int> posters_{0};
+  // Posts still inside Post() on another OS thread; the destructor blocks on
+  // post_cv_ until the count drains so a poster never touches a freed
+  // scheduler. Guarded by post_mu_ (a condvar wait, not a spin: teardown
+  // under TSAN used to burn a core yielding on an atomic).
+  int posters_ = 0;
 
   // Sharding: set once by SchedulerGroup before any shard runs.
   SchedulerGroup* group_ = nullptr;

@@ -62,6 +62,17 @@ class SchedulerGroup {
   // Thread-safe: stops every shard at its next scheduling point.
   void RequestStop();
 
+  // The shard index whose loop is executing on this OS thread (thread-local,
+  // set around every coroutine step and posted function), or -1 outside
+  // scheduler control. The runtime affinity checks (sched/affinity.h) and
+  // diagnostics use it; note that in virtual-clock lockstep mode several
+  // shards take turns on one OS thread, so this is per-step, not
+  // per-thread-lifetime.
+  static int CurrentShard() {
+    Scheduler* current = Scheduler::Current();
+    return current != nullptr ? static_cast<int>(current->shard_index()) : -1;
+  }
+
   // -- hooks called by Scheduler (see scheduler.cc) --------------------------
   // Group-level quiescence accounting: +1 per live non-daemon thread, queued
   // post, and pending external op, across all shards.

@@ -166,6 +166,7 @@ std::unique_ptr<StorageLayout> MakeLayout(Scheduler* sched, BlockDev dev,
   const LayoutFamily::Value& family = *LayoutRegistry::Find(config.layout);
   std::unique_ptr<StorageLayout> layout =
       family.make(LayoutContext{sched, std::move(dev), &config, fs_index});
+  layout->BindHomeShard(sched, "layout");
   if (auto* source = dynamic_cast<StatSource*>(layout.get()); source != nullptr) {
     stats->Register(source, sched);
   }
@@ -358,7 +359,9 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
     if (config.simulated()) {
       sys.movers_.push_back(std::make_unique<SimDataMover>(shard_sched(s), config.host));
     } else {
-      sys.movers_.push_back(std::make_unique<RealDataMover>());
+      auto mover = std::make_unique<RealDataMover>();
+      mover->BindHomeShard(shard_sched(s), "data_mover");
+      sys.movers_.push_back(std::move(mover));
     }
   }
 

@@ -7,9 +7,12 @@ CrossShardDevice::CrossShardDevice(Scheduler* home, Scheduler* target, BlockDevi
       target_(target),
       inner_(inner),
       total_sectors_(inner->total_sectors()),
-      sector_bytes_(inner->sector_bytes()) {}
+      sector_bytes_(inner->sector_bytes()) {
+  BindHomeShard(home_, "cross_shard_device");
+}
 
 Task<Status> CrossShardDevice::Read(uint64_t sector, uint32_t count, std::span<std::byte> out) {
+  PFS_ASSERT_SHARD();
   // The span stays valid for the whole round trip: the caller is suspended on
   // the home shard until the target's completion post lands, and only the
   // target-side coroutine touches the bytes in between.
@@ -22,6 +25,7 @@ Task<Status> CrossShardDevice::Read(uint64_t sector, uint32_t count, std::span<s
 
 Task<Status> CrossShardDevice::Write(uint64_t sector, uint32_t count,
                                      std::span<const std::byte> in) {
+  PFS_ASSERT_SHARD();
   BlockDevice* inner = inner_;
   auto body = [inner, sector, count, in]() { return inner->Write(sector, count, in); };
   co_return co_await CallOn<Status>(home_, target_, body);

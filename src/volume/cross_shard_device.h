@@ -7,12 +7,16 @@
 #ifndef PFS_VOLUME_CROSS_SHARD_DEVICE_H_
 #define PFS_VOLUME_CROSS_SHARD_DEVICE_H_
 
+#include "sched/affinity.h"
 #include "sched/shard.h"
 #include "volume/block_device.h"
 
 namespace pfs {
 
-class CrossShardDevice final : public BlockDevice {
+// Shard-affine on the *home* side: the proxy belongs to the calling
+// filesystem's shard (it is that shard's doorway to the foreign device), so
+// Read/Write assert the caller runs on `home` before hopping to `target`.
+class CrossShardDevice final : public BlockDevice, public ShardAffine {
  public:
   // `home` is the shard the calling volume/filesystem runs on; `target` owns
   // `inner`. Geometry is captured at construction (it is immutable below the

@@ -50,6 +50,7 @@ Task<> FragmentIo(Scheduler* sched, Volume* volume, bool is_write, const Volume:
 Volume::Volume(Scheduler* sched, std::string name, std::vector<BlockDevice*> members)
     : sched_(sched), name_(std::move(name)), members_(std::move(members)) {
   PFS_CHECK_MSG(!members_.empty(), "volume needs at least one member");
+  BindHomeShard(sched_);  // all entry paths assert via OpBegin()
   sector_bytes_ = members_[0]->sector_bytes();
   for (const BlockDevice* m : members_) {
     PFS_CHECK_MSG(m->sector_bytes() == sector_bytes_, "volume members disagree on sector size");

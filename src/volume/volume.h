@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "sched/affinity.h"
 #include "sched/scheduler.h"
 #include "stats/histogram.h"
 #include "stats/registry.h"
@@ -28,7 +29,11 @@
 
 namespace pfs {
 
-class Volume : public BlockDevice, public StatSource {
+// Volumes are shard-affine (ShardAffine): the constructor pins them to the
+// scheduler they are built on, and every Read/Write entry path asserts the
+// caller runs on that loop (foreign shards reach a volume only through a
+// CrossShardDevice proxy or CallOn).
+class Volume : public BlockDevice, public StatSource, public ShardAffine {
  public:
   Volume(Scheduler* sched, std::string name, std::vector<BlockDevice*> members);
 
@@ -110,11 +115,15 @@ class Volume : public BlockDevice, public StatSource {
                             std::vector<Status>* per_fragment = nullptr);
 
   // Request bracket shared by every entry path (RunFragments and the
-  // Read/Write overrides that bypass it): per-request latency, and a
-  // volume.request span when the calling thread carries a TraceContext.
-  // Not RAII on purpose — the end stamp must be taken before co_return, not
-  // whenever the coroutine frame happens to be destroyed.
-  TimePoint OpBegin() const { return sched_->Now(); }
+  // Read/Write overrides that bypass it): the shard-affinity assertion,
+  // per-request latency, and a volume.request span when the calling thread
+  // carries a TraceContext. Not RAII on purpose — the end stamp must be
+  // taken before co_return, not whenever the coroutine frame happens to be
+  // destroyed.
+  TimePoint OpBegin() const {
+    PFS_ASSERT_SHARD();
+    return sched_->Now();
+  }
   void OpFinish(TimePoint begin, uint64_t count);
 
   Scheduler* sched_;

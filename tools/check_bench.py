@@ -19,9 +19,14 @@ when the matched line's metric is numeric and below N. Used to gate
 host-shape-dependent expectations, e.g. multi-core speedups that only
 materialize when the runner actually has the cores ("host_cores").
 
+Every bench file a baseline names must exist AND contain at least one
+parsable JSON line — a bench that crashed on startup (empty or truncated
+output file) is a hard failure, not a silently skipped gate.
+
 Usage:
   python3 tools/check_bench.py --baseline bench/baselines/BENCH_baseline.json [--dir DIR]
   python3 tools/check_bench.py --baseline ... --update   # rewrite expectations
+  python3 tools/check_bench.py --self-test               # exercise failure paths
 
 Exit status: 0 = every check within tolerance, 1 = regression or missing data.
 """
@@ -30,19 +35,53 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 
 DEFAULT_TOLERANCE = 0.15
 
 
 def load_lines(path):
-    """Returns the list of JSON objects in a one-object-per-line bench file."""
+    """Returns (json_objects, parse_errors) for a one-object-per-line bench
+    file. Unparsable lines become errors, not exceptions: a bench that died
+    mid-write must fail the gate with a message, not a traceback."""
     lines = []
+    errors = []
     with open(path) as f:
-        for raw in f:
+        for lineno, raw in enumerate(f, start=1):
             raw = raw.strip()
-            if raw:
+            if not raw:
+                continue
+            try:
                 lines.append(json.loads(raw))
-    return lines
+            except ValueError as e:
+                errors.append("%s:%d: unparsable bench line (%s)" % (path, lineno, e))
+    return lines, errors
+
+
+def validate_bench_files(baseline, bench_dir):
+    """Upfront pass over every bench file the baseline names. Returns
+    (cache, failures): cache maps path -> parsed lines for files that are
+    usable; failures explains every file that is not. A named bench that
+    produced no JSON lines fails here, once, with a message saying which
+    bench — instead of one cryptic 'no line matches' per dependent check."""
+    cache = {}
+    failures = []
+    for check in baseline["checks"]:
+        path = os.path.join(bench_dir, check["file"])
+        if path in cache or any(f.startswith(path + ":") for f in failures):
+            continue
+        if not os.path.exists(path):
+            failures.append("%s: bench file missing — the bench did not run" % path)
+            continue
+        lines, errors = load_lines(path)
+        failures.extend(errors)
+        if not lines:
+            failures.append(
+                "%s: bench produced no JSON result lines — it crashed or exited "
+                "before emitting results" % path)
+            continue
+        cache[path] = lines
+    return cache, failures
 
 
 def dig(obj, dotted):
@@ -65,16 +104,12 @@ def find_line(lines, match):
 
 
 def run_checks(baseline, bench_dir, update):
-    failures = []
-    cache = {}
+    cache, failures = validate_bench_files(baseline, bench_dir)
     for check in baseline["checks"]:
         name = check["name"]
         path = os.path.join(bench_dir, check["file"])
         if path not in cache:
-            if not os.path.exists(path):
-                failures.append("%s: bench file %s not found" % (name, path))
-                continue
-            cache[path] = load_lines(path)
+            continue  # already failed in validate_bench_files
         line, err = find_line(cache[path], check["match"])
         if err:
             failures.append("%s: %s" % (name, err))
@@ -127,13 +162,67 @@ def run_checks(baseline, bench_dir, update):
     return failures
 
 
+def self_test():
+    """Exercises the gate's failure paths against synthetic bench files. In
+    particular: a baseline naming a bench file that exists but holds no JSON
+    lines (the crashed-bench shape) MUST produce a non-zero failure set."""
+    baseline = {"checks": [
+        {"name": "good", "file": "BENCH_ok.json", "match": {"bench": "a"},
+         "metric": "iops", "value": 100.0, "direction": "higher"},
+        {"name": "empty", "file": "BENCH_empty.json", "match": {"bench": "a"},
+         "metric": "iops", "value": 100.0, "direction": "higher"},
+        {"name": "missing", "file": "BENCH_missing.json", "match": {"bench": "a"},
+         "metric": "iops", "value": 100.0, "direction": "higher"},
+        {"name": "garbled", "file": "BENCH_garbled.json", "match": {"bench": "a"},
+         "metric": "iops", "value": 100.0, "direction": "higher"},
+    ]}
+    failed = []
+
+    def expect(label, cond):
+        print("check_bench self-test: %-38s %s" % (label, "ok" if cond else "FAIL"))
+        if not cond:
+            failed.append(label)
+
+    with tempfile.TemporaryDirectory() as d:
+        with open(os.path.join(d, "BENCH_ok.json"), "w") as f:
+            f.write('{"bench": "a", "iops": 100.0}\n')
+        open(os.path.join(d, "BENCH_empty.json"), "w").close()
+        with open(os.path.join(d, "BENCH_garbled.json"), "w") as f:
+            f.write('{"bench": "a", "iops": 1\n')  # truncated mid-write
+
+        failures = run_checks(baseline, d, update=False)
+        text = "\n".join(failures)
+        expect("passing check stays quiet", not any("good" in f for f in failures))
+        expect("empty bench file fails", "no JSON result lines" in text)
+        expect("missing bench file fails", "bench file missing" in text)
+        expect("garbled bench line fails", "unparsable bench line" in text)
+        expect("empty bench still fails under --update",
+               any("no JSON result lines" in f
+                   for f in run_checks(baseline, d, update=True)))
+
+        regress = {"checks": [
+            {"name": "slow", "file": "BENCH_ok.json", "match": {"bench": "a"},
+             "metric": "iops", "value": 200.0, "direction": "higher"},
+        ]}
+        expect("regression beyond tolerance fails",
+               any("outside" in f for f in run_checks(regress, d, update=False)))
+    return 1 if failed else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True, help="baseline JSON file")
+    parser.add_argument("--baseline", help="baseline JSON file")
     parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json runs")
     parser.add_argument("--update", action="store_true",
                         help="rewrite baseline values from the current run files")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise the gate's failure paths and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline:
+        parser.error("--baseline is required unless --self-test is given")
 
     with open(args.baseline) as f:
         baseline = json.load(f)

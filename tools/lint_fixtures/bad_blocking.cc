@@ -1,0 +1,29 @@
+// Fixture: blocking-in-coro. OS-level blocking primitives inside coroutine
+// bodies stall every coroutine sharing the shard's loop.
+#include "fixture_prelude.h"
+
+namespace pfs {
+
+Task<> HoldsOsMutex(std::mutex& mu) {
+  mu.lock();  // expect: blocking-in-coro
+  mu.unlock();  // expect: blocking-in-coro
+  co_return;
+}
+
+Task<> WaitsOnCondvar(std::condition_variable& cv, std::mutex& mu) {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk);  // expect: blocking-in-coro
+  co_return;
+}
+
+Task<> SleepsTheOsThread() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // expect: blocking-in-coro
+  co_return;
+}
+
+void NotACoroutine(std::mutex& mu) {
+  mu.lock();
+  mu.unlock();
+}
+
+}  // namespace pfs

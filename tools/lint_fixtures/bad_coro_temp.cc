@@ -1,0 +1,24 @@
+// Fixture: coro-arg-temporary. Non-trivial temporaries passed to a coroutine
+// inside a co_await full-expression — the PR 8 GCC 12 double-destroy shape.
+#include "fixture_prelude.h"
+
+namespace pfs {
+
+Task<int> Consume(std::string tag);
+
+Task<int> LambdaTemporary(Scheduler* home, Scheduler* target) {
+  int x = 1;
+  co_return co_await CallOn<int>(home, target, [x] { return x; });  // expect: coro-arg-temporary
+}
+
+Task<int> StdTemporary() {
+  co_return co_await Consume(std::string("hot"));  // expect: coro-arg-temporary
+}
+
+Task<int> HoistedThunkIsFine(Scheduler* home, Scheduler* target) {
+  int x = 1;
+  auto body = [x] { return x; };
+  co_return co_await CallOn<int>(home, target, body);
+}
+
+}  // namespace pfs

@@ -1,0 +1,23 @@
+// Fixture: ref-capture-escape. By-reference lambda captures handed to another
+// execution context through Post; the referents are stack locals that may be
+// gone when the lambda runs.
+#include "fixture_prelude.h"
+
+namespace pfs {
+
+void ExplicitRefEscapes(Scheduler* sched) {
+  int counter = 0;
+  sched->Post([&counter] { counter++; });  // expect: ref-capture-escape
+}
+
+void DefaultRefEscapes(Scheduler* sched) {
+  int counter = 0;
+  sched->Post([&] { counter++; });  // expect: ref-capture-escape
+}
+
+void ByValueIsFine(Scheduler* sched) {
+  int counter = 0;
+  sched->Post([counter] { (void)counter; });
+}
+
+}  // namespace pfs

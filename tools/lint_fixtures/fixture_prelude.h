@@ -1,0 +1,75 @@
+// Minimal stand-in for the PFS coroutine world so the lint fixtures parse as
+// real C++20 under the clang engine. Shapes mirror src/sched: Task<> is the
+// coroutine handle type, Sleep() returns a plain awaiter (NOT a coroutine),
+// Post/Spawn/CallOn are the escape points.
+#ifndef PFS_LINT_FIXTURE_PRELUDE_H_
+#define PFS_LINT_FIXTURE_PRELUDE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <coroutine>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace pfs {
+
+template <typename T = void>
+struct Task {
+  struct promise_type {
+    Task<T> get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_value(T) {}
+    void unhandled_exception() {}
+  };
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  T await_resume() const { return T{}; }
+};
+
+template <>
+struct Task<void> {
+  struct promise_type {
+    Task<void> get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() {}
+  };
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const {}
+};
+
+struct Duration {
+  static Duration Millis(long ms) { return Duration{ms * 1000000}; }
+  long ns = 0;
+};
+
+// Awaiter factory: like Scheduler::Sleep in the real tree, NOT a coroutine —
+// temporaries in its arguments are destroyed normally.
+struct SleepAwaiter {
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+class Scheduler {
+ public:
+  SleepAwaiter Sleep(Duration) { return {}; }
+  void Post(std::function<void()> fn);
+  void Spawn(std::string name, Task<> t);
+  void SpawnDaemon(std::string name, Task<> t);
+};
+
+template <typename T, typename Fn>
+Task<T> CallOn(Scheduler* home, Scheduler* target, Fn fn);
+
+}  // namespace pfs
+
+#endif  // PFS_LINT_FIXTURE_PRELUDE_H_

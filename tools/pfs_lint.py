@@ -1,0 +1,834 @@
+#!/usr/bin/env python3
+"""pfs_lint: concurrency lint for the PFS/Patsy source tree.
+
+Three rules, all derived from bugs this codebase has actually hit (or is
+structurally exposed to):
+
+  coro-arg-temporary   A non-trivial temporary (most often a lambda thunk) is
+                       passed as an argument to a coroutine call inside a
+                       co_await full-expression. GCC 12 double-destroys such
+                       temporaries (the PR 8 miscompile); the repo idiom is to
+                       hoist the thunk into a named local first.
+
+  ref-capture-escape   A lambda with by-reference captures escapes the current
+                       stack frame through Spawn/Post/CallOn. The lambda runs
+                       on another shard's loop (or later on this one), after
+                       the referents may be gone.
+
+  blocking-in-coro     A blocking OS-level synchronisation call
+                       (std::mutex::lock, condition_variable::wait,
+                       this_thread::sleep_for, ...) inside a coroutine body.
+                       Blocking the OS thread stalls every coroutine on the
+                       shard; use the cooperative sched/sync.h primitives.
+
+Suppression: append `// pfs-lint: allow(<rule>)` to the flagged line, or put
+it on the line directly above. Several rules may be listed, comma-separated.
+Use a suppression only with a comment explaining why the pattern is safe.
+
+Engines:
+  text    Pure-Python lexical engine. Always available; no dependencies.
+  clang   AST engine on top of libclang (python3-clang). Preferred when the
+          bindings are installed AND it reproduces the bundled fixture
+          expectations (`--engine auto` verifies this before trusting it,
+          falling back to `text` otherwise).
+
+Usage:
+  pfs_lint.py [--engine auto|clang|text] [--root DIR] [paths...]
+  pfs_lint.py --self-test
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import bisect
+import os
+import re
+import sys
+
+RULE_CORO_TEMP = "coro-arg-temporary"
+RULE_REF_ESCAPE = "ref-capture-escape"
+RULE_BLOCKING = "blocking-in-coro"
+ALL_RULES = (RULE_CORO_TEMP, RULE_REF_ESCAPE, RULE_BLOCKING)
+
+# Calls that move a callable to another execution context.
+ESCAPE_CALLS = (
+    "Post",
+    "Spawn",
+    "SpawnDaemon",
+    "SpawnTransient",
+    "SpawnTransientDaemon",
+    "CallOn",
+)
+
+# Blocking members of std synchronisation types.
+BLOCKING_MEMBERS = ("lock", "unlock", "try_lock_until", "wait", "wait_for", "wait_until")
+BLOCKING_FREE = ("sleep_for", "sleep_until")
+
+MESSAGES = {
+    RULE_CORO_TEMP: (
+        "non-trivial temporary passed to coroutine '{callee}' inside a co_await "
+        "expression; GCC 12 double-destroys it — hoist it into a named local"
+    ),
+    RULE_REF_ESCAPE: (
+        "lambda with by-reference capture(s) {captures} escapes through "
+        "'{callee}'; the referents may be gone when it runs"
+    ),
+    RULE_BLOCKING: (
+        "blocking call '{callee}' inside coroutine '{coro}' stalls the whole "
+        "shard; use the cooperative primitives in sched/sync.h"
+    ),
+}
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule, self.message)
+
+
+# ---------------------------------------------------------------------------
+# Shared lexical helpers
+# ---------------------------------------------------------------------------
+
+
+def scrub_source(text):
+    """Blanks comments and string/char literal contents (newlines survive, so
+    offsets and line numbers are unchanged)."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = i
+            while j < n and text[j] != "\n":
+                out[j] = " "
+                j += 1
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            for k in range(i, j):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            j = min(j + 1, n)
+            for k in range(i + 1, j - 1):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        else:
+            i += 1
+    return "".join(out)
+
+
+SUPPRESS_RE = re.compile(r"//\s*pfs-lint:\s*allow\(([^)]*)\)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([\w,\s-]+)")
+
+
+def parse_suppressions(text):
+    """Maps line number -> set of rule names allowed on that line (and,
+    by the reporting convention, the line after it)."""
+    allowed = {}
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            allowed[lineno] = rules
+    return allowed
+
+
+def line_starts(text):
+    starts = [0]
+    for i, c in enumerate(text):
+        if c == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def offset_to_line(starts, offset):
+    return bisect.bisect_right(starts, offset)
+
+
+def match_paren(text, open_pos):
+    """Returns the offset just past the parenthesis group opening at
+    open_pos (text[open_pos] must be '(' / '[' / '{' / '<')."""
+    pairs = {"(": ")", "[": "]", "{": "}", "<": ">"}
+    close = pairs[text[open_pos]]
+    opener = text[open_pos]
+    depth = 0
+    i = open_pos
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == opener:
+            depth += 1
+        elif c == close:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def split_top_args(argtext):
+    """Splits a call's argument text on top-level commas. Returns a list of
+    (offset_in_argtext, arg_string)."""
+    args = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(argtext):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "<":
+            # Heuristic: treat as template bracket only when nested inside a
+            # call already; '<' as less-than inside an arg list is rare in
+            # this codebase and never contains a top-level comma.
+            pass
+        elif c == "," and depth == 0:
+            args.append((start, argtext[start:i]))
+            start = i + 1
+    if argtext[start:].strip():
+        args.append((start, argtext[start:]))
+    return args
+
+
+def find_lambdas(argtext):
+    """Yields (offset, capture_list_text) for every lambda literal inside
+    argtext."""
+    i = 0
+    n = len(argtext)
+    while i < n:
+        if argtext[i] == "[":
+            end = match_paren(argtext, i)
+            captures = argtext[i + 1 : end - 1]
+            j = end
+            while j < n and argtext[j].isspace():
+                j += 1
+            # A lambda introducer is followed by a parameter list, a body, a
+            # template parameter list, or 'mutable'/'->' in rare spellings.
+            if j < n and (argtext[j] in "({<" or argtext.startswith("mutable", j)):
+                yield (i, captures)
+                i = end
+                continue
+        i += 1
+
+
+def by_ref_captures(capture_text):
+    """Returns the list of by-reference items in a lambda capture list."""
+    refs = []
+    for _, item in split_top_args(capture_text):
+        item = item.strip()
+        if item == "&" or (item.startswith("&") and not item.startswith("&&")):
+            refs.append(item)
+    return refs
+
+
+# ---------------------------------------------------------------------------
+# Text engine
+# ---------------------------------------------------------------------------
+
+CORO_DECL_RE = re.compile(r"\bTask<[^;{}()]*>\s+(?:[\w~]+\s*::\s*)*([A-Za-z_]\w*)\s*\(")
+# Temporaries the text engine is confident about: std:: class objects built in
+# place. Exemptions: std::move/forward (forward an existing named object) and
+# the trivially-destructible views/utilities (the GCC 12 bug only
+# double-destroys temporaries with non-trivial destructors). Braced aggregate
+# temporaries of project types (BlockId{...}, LogItem{...}) are deliberately
+# NOT flagged: they are trivially destructible structs throughout this tree,
+# and only the clang engine can actually prove triviality.
+STD_TEMP_RE = re.compile(
+    r"^std::(?!move\b|forward\b|span\b|string_view\b|byte\b|chrono\b|min\b|max\b|clamp\b"
+    r"|get\b|as_bytes\b|as_writable_bytes\b|data\b|size\b|begin\b|end\b)[\w:]+\s*[<({]"
+)
+
+
+class TextEngine:
+    name = "text"
+
+    def __init__(self, files):
+        # path -> (raw, scrubbed, line_starts, suppressions)
+        self.files = {}
+        for path in files:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+            self.files[path] = (raw, scrub_source(raw), line_starts(raw), parse_suppressions(raw))
+        self.coroutines = self._index_coroutines()
+        if self.coroutines:
+            self.coro_call_re = re.compile(
+                r"\b(%s)\s*(?:<[^;(){}]*>)?\s*\(" % "|".join(sorted(self.coroutines))
+            )
+        else:
+            self.coro_call_re = None
+        self.escape_call_re = re.compile(
+            r"\b(%s)\s*(?:<[^;(){}]*>)?\s*\(" % "|".join(ESCAPE_CALLS)
+        )
+
+    def _index_coroutines(self):
+        names = set()
+        for _, scrubbed, _, _ in self.files.values():
+            for m in CORO_DECL_RE.finditer(scrubbed):
+                names.add(m.group(1))
+        return names
+
+    def analyze(self):
+        findings = []
+        for path, (_, scrubbed, starts, _) in sorted(self.files.items()):
+            findings += self._check_coro_temporaries(path, scrubbed, starts)
+            findings += self._check_ref_escapes(path, scrubbed, starts)
+            findings += self._check_blocking(path, scrubbed, starts)
+        return findings
+
+    # -- coro-arg-temporary -------------------------------------------------
+
+    def _check_coro_temporaries(self, path, text, starts):
+        if self.coro_call_re is None:
+            return []
+        findings = []
+        for m in re.finditer(r"\bco_await\b", text):
+            stmt_end = self._statement_end(text, m.end())
+            span = text[m.end() : stmt_end]
+            for call in self.coro_call_re.finditer(span):
+                callee = call.group(1)
+                open_pos = span.index("(", call.end() - 1)
+                close = match_paren(span, open_pos)
+                argtext = span[open_pos + 1 : close - 1]
+                for arg_off, arg in split_top_args(argtext):
+                    stripped = arg.strip()
+                    lead = arg_off + (len(arg) - len(arg.lstrip()))
+                    is_temp = stripped.startswith("[") or STD_TEMP_RE.match(stripped)
+                    if not is_temp:
+                        continue
+                    offset = m.end() + open_pos + 1 + lead
+                    findings.append(
+                        Finding(
+                            path,
+                            offset_to_line(starts, offset),
+                            RULE_CORO_TEMP,
+                            MESSAGES[RULE_CORO_TEMP].format(callee=callee),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _statement_end(text, pos):
+        depth = 0
+        n = len(text)
+        i = pos
+        while i < n:
+            c = text[i]
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                if depth == 0:
+                    return i
+                depth -= 1
+            elif c == ";" and depth == 0:
+                return i
+            i += 1
+        return n
+
+    # -- ref-capture-escape -------------------------------------------------
+
+    def _check_ref_escapes(self, path, text, starts):
+        findings = []
+        for m in self.escape_call_re.finditer(text):
+            callee = m.group(1)
+            open_pos = text.index("(", m.end() - 1)
+            close = match_paren(text, open_pos)
+            argtext = text[open_pos + 1 : close - 1]
+            for lam_off, captures in find_lambdas(argtext):
+                refs = by_ref_captures(captures)
+                if not refs:
+                    continue
+                offset = open_pos + 1 + lam_off
+                findings.append(
+                    Finding(
+                        path,
+                        offset_to_line(starts, offset),
+                        RULE_REF_ESCAPE,
+                        MESSAGES[RULE_REF_ESCAPE].format(
+                            captures=",".join(refs), callee=callee
+                        ),
+                    )
+                )
+        return findings
+
+    # -- blocking-in-coro ---------------------------------------------------
+
+    BLOCKING_RE = re.compile(
+        r"(?:\.|->)\s*(%s)\s*\(|\b(?:std::this_thread::)?(%s)\s*\("
+        % ("|".join(BLOCKING_MEMBERS), "|".join(BLOCKING_FREE))
+    )
+    CORO_DEF_RE = re.compile(r"\bTask<[^;{}()]*>\s+((?:[\w~]+\s*::\s*)*[A-Za-z_]\w*)\s*\(")
+
+    def _check_blocking(self, path, text, starts):
+        findings = []
+        for m in self.CORO_DEF_RE.finditer(text):
+            coro = m.group(1).replace(" ", "")
+            open_pos = text.index("(", m.end() - 1)
+            params_end = match_paren(text, open_pos)
+            # Skip qualifiers between the parameter list and the body; a ';'
+            # first means this was only a declaration.
+            i = params_end
+            n = len(text)
+            while i < n and text[i] not in "{;":
+                i += 1
+            if i >= n or text[i] == ";":
+                continue
+            body_end = match_paren(text, i)
+            body = text[i:body_end]
+            for b in self.BLOCKING_RE.finditer(body):
+                callee = b.group(1) or b.group(2)
+                offset = i + b.start()
+                findings.append(
+                    Finding(
+                        path,
+                        offset_to_line(starts, offset),
+                        RULE_BLOCKING,
+                        MESSAGES[RULE_BLOCKING].format(callee=callee, coro=coro),
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# Clang engine
+# ---------------------------------------------------------------------------
+
+
+class ClangEngine:
+    name = "clang"
+
+    def __init__(self, files, include_dirs):
+        import clang.cindex as cindex  # noqa: import checked by available()
+
+        self.cindex = cindex
+        self.files = sorted(files)
+        self.fileset = {os.path.realpath(p) for p in files}
+        self.args = ["-x", "c++", "-std=c++20"]
+        for d in include_dirs:
+            self.args += ["-I", d]
+        self.suppress_cache = {}
+
+    @staticmethod
+    def available():
+        """Returns None when usable, else a reason string."""
+        try:
+            import clang.cindex as cindex
+        except ImportError:
+            return "python3-clang bindings not installed"
+        try:
+            cindex.Index.create()
+        except Exception as e:  # libclang.so missing or ABI mismatch
+            return "libclang unavailable: %s" % e
+        return None
+
+    def analyze(self):
+        index = self.cindex.Index.create()
+        findings = {}
+        # Parse every file independently; headers are still covered when a
+        # .cc includes them (findings dedup on (path, line, rule)).
+        for path in self.files:
+            try:
+                tu = index.parse(path, args=self.args)
+            except self.cindex.TranslationUnitLoadError:
+                continue
+            for f in self._walk_tu(tu):
+                findings[f.key()] = f
+        return list(findings.values())
+
+    def _in_scope(self, location):
+        if location.file is None:
+            return None
+        real = os.path.realpath(location.file.name)
+        return real if real in self.fileset else None
+
+    def _walk_tu(self, tu):
+        K = self.cindex.CursorKind
+        fn_kinds = {K.FUNCTION_DECL, K.CXX_METHOD, K.FUNCTION_TEMPLATE, K.CONSTRUCTOR}
+        out = []
+
+        def visit(cursor):
+            if cursor.kind in fn_kinds and self._returns_task(cursor):
+                body = self._body_of(cursor)
+                if body is not None:
+                    out.extend(self._check_coro_body(cursor, body))
+            for child in cursor.get_children():
+                visit(child)
+
+        visit(tu.cursor)
+        out.extend(self._check_escapes(tu.cursor))
+        return [f for f in out if f is not None]
+
+    def _returns_task(self, cursor):
+        try:
+            spelling = cursor.result_type.spelling
+        except Exception:
+            return False
+        return "Task<" in spelling
+
+    def _call_returns_task(self, cursor):
+        try:
+            return "Task<" in cursor.type.spelling
+        except Exception:
+            return False
+
+    def _body_of(self, cursor):
+        K = self.cindex.CursorKind
+        for child in cursor.get_children():
+            if child.kind == K.COMPOUND_STMT:
+                return child
+        return None
+
+    def _check_coro_body(self, fn, body):
+        K = self.cindex.CursorKind
+        findings = []
+        coro_name = fn.spelling
+
+        def visit(cursor):
+            if cursor.kind in (K.CALL_EXPR, K.CXX_MEMBER_CALL_EXPR):
+                name = cursor.spelling
+                if name in BLOCKING_MEMBERS or name in BLOCKING_FREE:
+                    ref = cursor.referenced
+                    qualified = self._qualified(ref) if ref is not None else ""
+                    if qualified.startswith("std::"):
+                        findings.append(
+                            self._finding(
+                                cursor.location,
+                                RULE_BLOCKING,
+                                MESSAGES[RULE_BLOCKING].format(callee=name, coro=coro_name),
+                            )
+                        )
+                if self._call_returns_task(cursor):
+                    findings.extend(self._check_call_args(cursor))
+            for child in cursor.get_children():
+                visit(child)
+
+        visit(body)
+        return findings
+
+    def _check_call_args(self, call):
+        K = self.cindex.CursorKind
+        TK = self.cindex.TypeKind
+        findings = []
+        for arg in call.get_arguments():
+            node = self._peel(arg)
+            if node is None:
+                continue
+            if node.kind == K.LAMBDA_EXPR:
+                findings.append(
+                    self._finding(
+                        node.location,
+                        RULE_CORO_TEMP,
+                        MESSAGES[RULE_CORO_TEMP].format(callee=call.spelling),
+                    )
+                )
+                continue
+            if node.kind in (K.CALL_EXPR, K.CXX_TEMPORARY_OBJECT_EXPR, K.INIT_LIST_EXPR):
+                try:
+                    ctype = node.type.get_canonical()
+                except Exception:
+                    continue
+                if ctype.kind in (TK.LVALUEREFERENCE, TK.RVALUEREFERENCE, TK.POINTER):
+                    continue
+                if ctype.kind != TK.RECORD or self._trivially_destructible(ctype):
+                    continue
+                findings.append(
+                    self._finding(
+                        node.location,
+                        RULE_CORO_TEMP,
+                        MESSAGES[RULE_CORO_TEMP].format(callee=call.spelling),
+                    )
+                )
+        return findings
+
+    def _trivially_destructible(self, ctype, depth=0):
+        """True when destroying a temporary of this record type is a no-op —
+        the GCC 12 double-destroy is only observable otherwise. Conservative:
+        any declared destructor counts as non-trivial."""
+        if depth > 8:
+            return False
+        K = self.cindex.CursorKind
+        TK = self.cindex.TypeKind
+        decl = ctype.get_declaration()
+        if decl is None or decl.kind == K.NO_DECL_FOUND:
+            return True
+        for child in decl.get_children():
+            if child.kind == K.DESTRUCTOR:
+                return False
+            if child.kind in (K.FIELD_DECL, K.CXX_BASE_SPECIFIER):
+                ft = child.type.get_canonical()
+                if ft.kind == TK.RECORD and not self._trivially_destructible(ft, depth + 1):
+                    return False
+        return True
+
+    def _peel(self, node):
+        """Strips implicit wrapper nodes so the materialized expression's own
+        kind is visible."""
+        K = self.cindex.CursorKind
+        while node is not None and node.kind in (K.UNEXPOSED_EXPR, K.CXX_FUNCTIONAL_CAST_EXPR):
+            children = list(node.get_children())
+            if len(children) != 1:
+                return node
+            node = children[0]
+        return node
+
+    def _check_escapes(self, root):
+        K = self.cindex.CursorKind
+        findings = []
+
+        def visit(cursor):
+            if cursor.kind in (K.CALL_EXPR, K.CXX_MEMBER_CALL_EXPR) and cursor.spelling in ESCAPE_CALLS:
+                for arg in cursor.get_arguments():
+                    for lam in self._find_lambdas(arg):
+                        refs = self._lambda_ref_captures(lam)
+                        if refs:
+                            findings.append(
+                                self._finding(
+                                    lam.location,
+                                    RULE_REF_ESCAPE,
+                                    MESSAGES[RULE_REF_ESCAPE].format(
+                                        captures=",".join(refs), callee=cursor.spelling
+                                    ),
+                                )
+                            )
+            for child in cursor.get_children():
+                visit(child)
+
+        visit(root)
+        return findings
+
+    def _find_lambdas(self, cursor):
+        K = self.cindex.CursorKind
+        out = []
+
+        def visit(node):
+            if node.kind == K.LAMBDA_EXPR:
+                out.append(node)
+                return  # nested lambdas belong to the inner context
+            for child in node.get_children():
+                visit(child)
+
+        visit(cursor)
+        return out
+
+    def _lambda_ref_captures(self, lam):
+        # The python bindings do not expose capture kinds; read the capture
+        # list straight from the tokens.
+        tokens = [t.spelling for t in lam.get_tokens()]
+        if not tokens or tokens[0] != "[":
+            return []
+        depth = 0
+        captured = []
+        for i, tok in enumerate(tokens):
+            if tok == "[":
+                depth += 1
+            elif tok == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif depth == 1 and tok == "&":
+                nxt = tokens[i + 1] if i + 1 < len(tokens) else "]"
+                if nxt in (",", "]"):
+                    captured.append("&")
+                elif re.match(r"^[A-Za-z_]\w*$", nxt):
+                    captured.append("&" + nxt)
+        return captured
+
+    def _qualified(self, cursor):
+        parts = []
+        node = cursor
+        while node is not None and node.kind != self.cindex.CursorKind.TRANSLATION_UNIT:
+            if node.spelling:
+                parts.append(node.spelling)
+            node = node.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _finding(self, location, rule, message):
+        path = self._in_scope(location)
+        if path is None:
+            return None
+        return Finding(path, location.line, rule, message)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect_files(root, paths):
+    files = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isdir(full):
+            for dirpath, _, names in os.walk(full):
+                for name in sorted(names):
+                    if name.endswith((".cc", ".h", ".cpp", ".hpp")):
+                        files.append(os.path.join(dirpath, name))
+        elif os.path.isfile(full):
+            files.append(full)
+        else:
+            raise FileNotFoundError(full)
+    return sorted(set(os.path.realpath(f) for f in files))
+
+
+def apply_suppressions(findings, engine_files):
+    kept = []
+    suppress_maps = {}
+    for f in findings:
+        if f is None:
+            continue
+        if f.path not in suppress_maps:
+            try:
+                with open(f.path, "r", encoding="utf-8", errors="replace") as fh:
+                    suppress_maps[f.path] = parse_suppressions(fh.read())
+            except OSError:
+                suppress_maps[f.path] = {}
+        allowed = suppress_maps[f.path]
+        rules_here = allowed.get(f.line, set()) | allowed.get(f.line - 1, set())
+        if f.rule in rules_here or "all" in rules_here:
+            continue
+        kept.append(f)
+    return kept
+
+
+def run_engine(engine_name, files, include_dirs, fixture_dir):
+    """Resolves the engine to use and returns (engine_label, findings)."""
+    if engine_name in ("clang", "auto"):
+        reason = ClangEngine.available()
+        if reason is None:
+            if engine_name == "clang" or clang_passes_fixtures(fixture_dir, include_dirs):
+                eng = ClangEngine(files, include_dirs)
+                return "clang", eng.analyze()
+            print("pfs_lint: clang engine failed fixture validation; using text engine",
+                  file=sys.stderr)
+        elif engine_name == "clang":
+            print("pfs_lint: clang engine unavailable (%s)" % reason, file=sys.stderr)
+            sys.exit(2)
+        else:
+            print("pfs_lint: clang engine unavailable (%s); using text engine" % reason,
+                  file=sys.stderr)
+    eng = TextEngine(files)
+    return "text", eng.analyze()
+
+
+def expected_findings(fixture_files):
+    expected = set()
+    for path in fixture_files:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f.read().split("\n"), start=1):
+                m = EXPECT_RE.search(line)
+                if m:
+                    for rule in m.group(1).split(","):
+                        rule = rule.strip()
+                        if rule:
+                            expected.add((os.path.realpath(path), lineno, rule))
+    return expected
+
+
+def fixture_result(engine_cls, fixture_files, include_dirs):
+    if engine_cls is ClangEngine:
+        eng = ClangEngine(fixture_files, include_dirs)
+    else:
+        eng = TextEngine(fixture_files)
+    findings = apply_suppressions(eng.analyze(), fixture_files)
+    return {f.key() for f in findings}
+
+
+def clang_passes_fixtures(fixture_dir, include_dirs):
+    try:
+        files = collect_files(fixture_dir, ["."])
+        return fixture_result(ClangEngine, files, include_dirs + [fixture_dir]) == expected_findings(files)
+    except Exception:
+        return False
+
+
+def self_test(fixture_dir, include_dirs):
+    files = collect_files(fixture_dir, ["."])
+    expected = expected_findings(files)
+    if not expected:
+        print("pfs_lint self-test: no expectations found in %s" % fixture_dir)
+        return 1
+    status = 0
+
+    def check(label, got):
+        nonlocal status
+        missing = expected - got
+        spurious = got - expected
+        if missing or spurious:
+            status = 1
+            print("pfs_lint self-test [%s]: FAIL" % label)
+            for path, line, rule in sorted(missing):
+                print("  missing:  %s:%d [%s]" % (os.path.relpath(path, fixture_dir), line, rule))
+            for path, line, rule in sorted(spurious):
+                print("  spurious: %s:%d [%s]" % (os.path.relpath(path, fixture_dir), line, rule))
+        else:
+            print("pfs_lint self-test [%s]: ok (%d expected findings)" % (label, len(expected)))
+
+    check("text", fixture_result(TextEngine, files, include_dirs))
+    reason = ClangEngine.available()
+    if reason is None:
+        check("clang", fixture_result(ClangEngine, files, include_dirs + [fixture_dir]))
+    else:
+        print("pfs_lint self-test [clang]: skipped (%s)" % reason)
+    return status
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--engine", choices=("auto", "clang", "text"), default="auto")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the directory above this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the engines against the bundled fixtures")
+    args = parser.parse_args()
+
+    script_dir = os.path.dirname(os.path.realpath(__file__))
+    root = os.path.realpath(args.root) if args.root else os.path.dirname(script_dir)
+    fixture_dir = os.path.join(script_dir, "lint_fixtures")
+    include_dirs = [os.path.join(root, "src")]
+
+    if args.self_test:
+        sys.exit(self_test(fixture_dir, include_dirs))
+
+    paths = args.paths or ["src"]
+    try:
+        files = collect_files(root, paths)
+    except FileNotFoundError as e:
+        print("pfs_lint: no such file or directory: %s" % e, file=sys.stderr)
+        sys.exit(2)
+    if not files:
+        print("pfs_lint: nothing to lint", file=sys.stderr)
+        sys.exit(2)
+
+    label, findings = run_engine(args.engine, files, include_dirs, fixture_dir)
+    findings = apply_suppressions(findings, files)
+    findings.sort(key=lambda f: f.key())
+    for f in findings:
+        rel = os.path.relpath(f.path, root)
+        print("%s:%d: [%s] %s" % (rel, f.line, f.rule, f.message))
+    summary = "pfs_lint (%s engine): %d file(s), %d finding(s)" % (label, len(files), len(findings))
+    print(summary, file=sys.stderr)
+    sys.exit(1 if findings else 0)
+
+
+if __name__ == "__main__":
+    main()
