@@ -4,11 +4,16 @@
 // examples/scenarios/ through this, so scenario files can never rot.
 //
 //   ./run_scenario <file.scenario> [--ops N] [--files N] [--wscale BYTES]
-//                  [--stats] [--trace FILE]
+//                  [--stats] [--trace FILE] [--metrics PORT]
 //
 // --trace FILE force-enables request tracing regardless of the scenario's
 // trace.* keys and exports the run as Chrome trace_event JSON to FILE (plus
 // the sampled stats time series to FILE's "-samples" sibling).
+//
+// --metrics PORT force-enables the live metrics plane on PORT (0 = ask the
+// kernel). Whenever metrics end up on, the bound port is printed (and
+// flushed) right after setup as "metrics: http://127.0.0.1:<port>/metrics",
+// so a scraper driving this binary can pick it up mid-run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -99,11 +104,16 @@ int main(int argc, char** argv) {
   SmokeShape shape;
   int ops = 1000;
   bool with_stats = false;
+  bool with_metrics = false;
+  int metrics_port = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
       ops = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       with_stats = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      with_metrics = true;
+      metrics_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_file = argv[++i];
     } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
@@ -114,10 +124,11 @@ int main(int argc, char** argv) {
       scenario_path = argv[i];
     }
   }
-  if (scenario_path.empty() || ops < 1 || shape.files < 1 || shape.wscale < 1) {
+  if (scenario_path.empty() || ops < 1 || shape.files < 1 || shape.wscale < 1 ||
+      metrics_port < 0 || metrics_port > 65535) {
     std::fprintf(stderr,
                  "usage: run_scenario <file.scenario> [--ops N] [--files N] [--wscale BYTES] "
-                 "[--stats] [--trace FILE]\n");
+                 "[--stats] [--trace FILE] [--metrics PORT]\n");
     return 2;
   }
 
@@ -133,6 +144,10 @@ int main(int argc, char** argv) {
     if (config.trace.sample_ms == 0) {
       config.trace.sample_ms = 20;  // time-series samples ride along by default
     }
+  }
+  if (with_metrics) {
+    config.metrics.enabled = true;
+    config.metrics.port = static_cast<uint32_t>(metrics_port);
   }
 
   // A private image path, so concurrent smoke runs of different scenarios
@@ -152,6 +167,11 @@ int main(int argc, char** argv) {
   if (Status status = sys.Setup(); !status.ok()) {
     std::fprintf(stderr, "setup failed: %s\n", status.ToString().c_str());
     return 1;
+  }
+  if (sys.metrics_port() != 0) {
+    // Flushed before the workload starts so a scraper can curl mid-run.
+    std::printf("metrics: http://127.0.0.1:%u/metrics\n", sys.metrics_port());
+    std::fflush(stdout);
   }
 
   uint64_t done = 0;
@@ -190,6 +210,10 @@ int main(int argc, char** argv) {
   }
   if (with_stats) {
     std::printf("%s", sys.StatReport(false).c_str());
+  }
+  if (MetricRegistry* reg = sys.metrics(); reg != nullptr) {
+    std::printf("  metrics: port=%u scrapes=%llu\n", sys.metrics_port(),
+                static_cast<unsigned long long>(reg->scrapes()));
   }
   if (TraceSink* sink = sys.trace_sink(); sink != nullptr) {
     sink->Drain();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace pfs {
@@ -53,6 +54,19 @@ void BufferCache::Start() {
   }
 }
 
+void BufferCache::BindMetrics(MetricRegistry* registry, uint32_t shard_label) {
+  char labels[32];
+  std::snprintf(labels, sizeof(labels), "shard=\"%u\"", shard_label);
+  m_hits_ = registry->Counter("cache_hits_total", "Block lookups served from the cache", labels);
+  m_misses_ = registry->Counter("cache_misses_total", "Block lookups that missed", labels);
+  m_fills_ = registry->Counter("cache_fills_total", "Blocks filled from disk", labels);
+  m_evictions_ = registry->Counter("cache_evictions_total", "Clean blocks evicted", labels);
+  m_blocks_flushed_ =
+      registry->Counter("cache_blocks_flushed_total", "Dirty blocks written back", labels);
+  m_fill_ = registry->Histogram("cache_fill_seconds", "Miss-fill service time", labels,
+                                /*scale=*/1e-9);
+}
+
 void BufferCache::SetFileHint(uint32_t fs_id, uint64_t ino, FileCacheHint hint) {
   PFS_ASSERT_SHARD();
   if (hint == FileCacheHint::kNormal) {
@@ -86,12 +100,18 @@ Task<Result<CacheBlock*>> BufferCache::GetBlock(const BlockId& id, GetMode mode)
         continue;
       }
       hits_.Inc();
+      if (m_hits_ != nullptr) {
+        m_hits_->Inc();
+      }
       ++block->pin_count;
       Touch(block);
       co_return block;
     }
 
     misses_.Inc();
+    if (m_misses_ != nullptr) {
+      m_misses_->Inc();
+    }
     PFS_CO_ASSIGN_OR_RETURN(CacheBlock* block, co_await AllocateSlot());
     // AllocateSlot may have suspended; another thread may have inserted the
     // block meanwhile.
@@ -123,9 +143,15 @@ Task<Result<CacheBlock*>> BufferCache::GetBlock(const BlockId& id, GetMode mode)
     block->io_in_progress = true;
     ++block->pin_count;
     fills_.Inc();
+    if (m_fills_ != nullptr) {
+      m_fills_->Inc();
+    }
     const TimePoint fill_begin = sched_->Now();
     const Status status = co_await handler_it->second->FillBlock(id, block);
     fill_latency_.Record(sched_->Now() - fill_begin);
+    if (m_fill_ != nullptr) {
+      m_fill_->RecordDuration(sched_->Now() - fill_begin);
+    }
     {
       const Thread* self = sched_->current_thread();
       if (self != nullptr && self->trace.active()) {
@@ -156,6 +182,9 @@ Task<Result<CacheBlock*>> BufferCache::AllocateSlot() {
     }
     if (CacheBlock* victim = replacement_->PickVictim(clean_); victim != nullptr) {
       evictions_.Inc();
+      if (m_evictions_ != nullptr) {
+        m_evictions_->Inc();
+      }
       map_.erase(victim->id);
       clean_.Remove(*victim);
       victim->state = BlockState::kFree;
@@ -288,6 +317,9 @@ Task<Status> BufferCache::FlushBlockSet(uint32_t fs_id, uint64_t ino,
         !b->doomed) {
       TransitionToClean(b);
       blocks_flushed_.Inc();
+      if (m_blocks_flushed_ != nullptr) {
+        m_blocks_flushed_->Inc();
+      }
     }
     b->ready.Broadcast();
     if (b->pin_count == 0 && b->doomed) {
@@ -437,8 +469,7 @@ std::string BufferCache::StatJson() const {
                 "{\"blocks\":%zu,\"free\":%zu,\"clean\":%zu,\"dirty\":%zu,"
                 "\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,\"fills\":%llu,"
                 "\"evictions\":%llu,\"blocks_flushed\":%llu,\"files_flushed\":%llu,"
-                "\"absorbed\":%llu,"
-                "\"fill_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f}}",
+                "\"absorbed\":%llu,",
                 pool_.size(), free_.size(), clean_.size(), dirty_.size(),
                 static_cast<unsigned long long>(hits_.value()),
                 static_cast<unsigned long long>(misses_.value()), HitRate(),
@@ -446,11 +477,21 @@ std::string BufferCache::StatJson() const {
                 static_cast<unsigned long long>(evictions_.value()),
                 static_cast<unsigned long long>(blocks_flushed_.value()),
                 static_cast<unsigned long long>(files_flushed_.value()),
-                static_cast<unsigned long long>(absorbed_.value()),
-                fill_latency_.mean().ToMillisF(), fill_latency_.Percentile(0.5).ToMillisF(),
-                fill_latency_.Percentile(0.95).ToMillisF(),
-                fill_latency_.Percentile(0.99).ToMillisF());
-  return buf;
+                static_cast<unsigned long long>(absorbed_.value()));
+  std::string out(buf);
+  if (m_fill_ != nullptr) {
+    // Bound to the metrics plane: the scrape and StatJson share one source.
+    out += m_fill_->LatencyMsJsonObject("fill_ms");
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "\"fill_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f}",
+                  fill_latency_.mean().ToMillisF(), fill_latency_.Percentile(0.5).ToMillisF(),
+                  fill_latency_.Percentile(0.95).ToMillisF(),
+                  fill_latency_.Percentile(0.99).ToMillisF());
+    out += buf;
+  }
+  out += "}";
+  return out;
 }
 
 void BufferCache::StatResetInterval() {

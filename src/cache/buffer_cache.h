@@ -30,6 +30,10 @@
 
 namespace pfs {
 
+class MetricRegistry;
+class CounterMetric;
+class HistogramMetric;
+
 // The storage side of the cache: each mounted file system registers one of
 // these to fill blocks from disk and to write dirty blocks back. Flushes are
 // file-grouped because log-structured layouts want to write whole files
@@ -138,6 +142,11 @@ class BufferCache : public StatSource, public ShardAffine {
   // keeps their registry names distinct. Single-shard systems keep "cache".
   void set_stat_suffix(std::string suffix) { stat_suffix_ = std::move(suffix); }
 
+  // Registers this cache's counters/histogram with the live metrics plane;
+  // `shard_label` becomes the {shard="..."} label on every family. Legacy
+  // StatSource counters keep working either way.
+  void BindMetrics(MetricRegistry* registry, uint32_t shard_label);
+
   // StatSource
   std::string stat_name() const override { return "cache" + stat_suffix_; }
   std::string StatReport(bool with_histograms) const override;
@@ -190,6 +199,15 @@ class BufferCache : public StatSource, public ShardAffine {
   Counter absorbed_;
   Histogram dirty_fraction_{0, 1.0, 50};  // sampled at each MarkDirty
   LatencyHistogram fill_latency_;         // miss-fill service time
+
+  // Live metrics plane (null until BindMetrics; written next to the legacy
+  // counters above).
+  CounterMetric* m_hits_ = nullptr;
+  CounterMetric* m_misses_ = nullptr;
+  CounterMetric* m_fills_ = nullptr;
+  CounterMetric* m_evictions_ = nullptr;
+  CounterMetric* m_blocks_flushed_ = nullptr;
+  HistogramMetric* m_fill_ = nullptr;
 };
 
 }  // namespace pfs

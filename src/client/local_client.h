@@ -29,6 +29,9 @@
 namespace pfs {
 
 class TraceRecorder;
+class MetricRegistry;
+class CounterMetric;
+class HistogramMetric;
 
 class LocalClient final : public ClientInterface {
  public:
@@ -42,6 +45,10 @@ class LocalClient final : public ClientInterface {
   // trace roots — a fresh trace id rides the calling thread for the life of
   // the operation, so every stage below attributes its spans to it.
   void set_trace_recorder(TraceRecorder* recorder) { tracer_ = recorder; }
+
+  // Registers client_ops_total / client_op_seconds (labelled {op="..."}) with
+  // the live metrics plane; the TraceBegin/TraceEnd bracket feeds them.
+  void BindMetrics(MetricRegistry* registry);
 
   // ClientInterface
   Task<Result<Fd>> Open(const std::string& path, OpenOptions options) override;
@@ -134,22 +141,34 @@ class LocalClient final : public ClientInterface {
   Task<Status> SyncShard(Scheduler* shard);
   Task<Status> SyncAllImpl();
 
-  // Root-span bracket. TraceBegin saves the thread's context and installs a
-  // fresh trace id; TraceEnd records the client.op span and restores it.
-  // Explicit (not RAII) so the end stamp lands before co_return, not at
-  // frame destruction. Runs against the *executing* shard's scheduler, so
-  // routed ops trace on the shard that does the work.
+  // Root-span bracket, shared by tracing and the live metrics plane.
+  // TraceBegin saves the thread's context and installs a fresh trace id;
+  // TraceEnd records the client.op span (and, when metrics are bound, the
+  // op counter + latency sample) and restores it. Explicit (not RAII) so the
+  // end stamp lands before co_return, not at frame destruction. Runs against
+  // the *executing* shard's scheduler, so routed ops trace on the shard that
+  // does the work. With metrics bound but tracing off, only 1-in-64 ops
+  // read the clock for the latency histogram: op counters stay exact while
+  // the per-op cost stays at a handful of relaxed stores.
+  enum class ClientOp : uint8_t { kOpen = 0, kRead, kWrite, kFsync, kSyncAll };
+  static constexpr size_t kClientOpCount = 5;
+  static constexpr uint32_t kLatencySampleEvery = 64;  // power of two
   struct OpTrace {
-    Thread* self = nullptr;  // null: tracing off for this op
-    Scheduler* sched = nullptr;
+    Thread* self = nullptr;     // null: tracing off for this op
+    Scheduler* sched = nullptr; // null: neither tracing nor metrics active
+    ClientOp op = ClientOp::kOpen;
+    bool timed = false;         // this op's latency lands in the histogram
     TraceContext saved;
     TimePoint begin;
   };
-  OpTrace TraceBegin();
+  OpTrace TraceBegin(ClientOp op);
   void TraceEnd(const OpTrace& t, uint64_t arg);
 
   Scheduler* sched_;  // shard 0: the client's home loop
   TraceRecorder* tracer_ = nullptr;
+  // Live metrics plane, indexed by ClientOp (null until BindMetrics).
+  CounterMetric* m_ops_[kClientOpCount] = {};
+  HistogramMetric* m_latency_[kClientOpCount] = {};
   std::map<std::string, Mount> mounts_;
   // The fd table is shared across shards (any shard may open/close/use fds),
   // so it lives under a mutex; entries are copied out, never held across

@@ -22,6 +22,11 @@
 
 namespace pfs {
 
+class MetricRegistry;
+class CounterMetric;
+class GaugeMetric;
+class HistogramMetric;
+
 // Queue-scheduling policies (paper §3 cites SCAN, C-SCAN, LOOK, C-LOOK).
 // The arm-positioning cost of sweeping to the physical edge is modelled by
 // the disk itself, so SCAN behaves as LOOK and C-SCAN as C-LOOK here.
@@ -70,6 +75,11 @@ class QueueingDiskDriver : public DiskDriver, public StatSource {
   uint64_t batches() const { return batches_.value(); }
   const Histogram& batch_size_hist() const { return batch_size_; }
 
+  // Registers this driver's families with the live metrics plane under a
+  // {disk="<name>"} label. Derived drivers may extend it (FileBackedDriver
+  // adds its io_uring submit latency).
+  virtual void BindMetrics(MetricRegistry* registry);
+
  protected:
   Scheduler* sched() { return sched_; }
 
@@ -112,6 +122,15 @@ class QueueingDiskDriver : public DiskDriver, public StatSource {
   Histogram queue_len_{0, 128, 128};
   LatencyHistogram queue_wait_;
   LatencyHistogram latency_;
+
+  // Live metrics plane (null until BindMetrics).
+  CounterMetric* m_reads_ = nullptr;
+  CounterMetric* m_writes_ = nullptr;
+  CounterMetric* m_batches_ = nullptr;
+  GaugeMetric* m_queue_depth_ = nullptr;
+  HistogramMetric* m_batch_size_ = nullptr;
+  HistogramMetric* m_queue_wait_ = nullptr;
+  HistogramMetric* m_latency_ = nullptr;
 };
 
 }  // namespace pfs

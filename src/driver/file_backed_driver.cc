@@ -5,11 +5,22 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pfs {
+
+void FileBackedDriver::BindMetrics(MetricRegistry* registry) {
+  QueueingDiskDriver::BindMetrics(registry);
+  const std::string labels = "disk=\"" + name() + "\"";
+  m_submit_ = registry->Histogram("disk_submit_seconds",
+                                  "Executor handoff to engine completion", labels,
+                                  /*scale=*/1e-6);
+}
 
 Result<std::unique_ptr<FileBackedDriver>> FileBackedDriver::Create(
     Scheduler* sched, std::string name, const std::string& path, uint64_t size_bytes,
@@ -75,6 +86,9 @@ Task<> FileBackedDriver::DispatchBatch(std::span<IoRequest* const> batch) {
         batch[i]->done.Notify();
       }
       submit_us_.Record(us);
+      if (m_submit_ != nullptr) {
+        m_submit_->Record(std::llround(us));
+      }
       batch_done.Notify();
       s->EndExternalOp();
     });

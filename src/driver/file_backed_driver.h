@@ -41,6 +41,8 @@ class FileBackedDriver final : public QueueingDiskDriver {
   std::string StatReport(bool with_histograms) const override;
   std::string StatJson() const override;
 
+  void BindMetrics(MetricRegistry* registry) override;
+
  protected:
   Task<> DispatchBatch(std::span<IoRequest* const> batch) override;
   size_t MaxBatchSize() const override { return kMaxBatch; }
@@ -59,6 +61,7 @@ class FileBackedDriver final : public QueueingDiskDriver {
   // Wall time from handing a batch to the executor to its engine completion
   // (pool wait + submission syscalls + device time), in microseconds.
   Histogram submit_us_{0, 65536, 64};
+  HistogramMetric* m_submit_ = nullptr;  // live metrics twin of submit_us_
 };
 
 }  // namespace pfs

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/log.h"
+#include "obs/metrics.h"
 
 namespace pfs {
 
@@ -25,6 +26,16 @@ void FaultInjector::Start() {
   }
 }
 
+void FaultInjector::BindMetrics(MetricRegistry* registry, uint32_t shard_label) {
+  char labels[64];
+  std::snprintf(labels, sizeof(labels), "shard=\"%u\",kind=\"fail\"", shard_label);
+  m_fails_ = registry->Counter("fault_events_total", "Fault-schedule events applied", labels);
+  std::snprintf(labels, sizeof(labels), "shard=\"%u\",kind=\"return\"", shard_label);
+  m_returns_ = registry->Counter("fault_events_total", "Fault-schedule events applied", labels);
+  std::snprintf(labels, sizeof(labels), "shard=\"%u\",kind=\"noop\"", shard_label);
+  m_noops_ = registry->Counter("fault_events_total", "Fault-schedule events applied", labels);
+}
+
 Task<> FaultInjector::Run() {
   for (const PlannedEvent& planned : events_) {
     co_await sched_->SleepUntil(TimePoint() + planned.event.at);
@@ -41,11 +52,13 @@ void FaultInjector::Apply(const PlannedEvent& planned) {
     case FaultAction::kFail:
       if (mirror->member_failed(member)) {
         noops_.Inc();
+        if (m_noops_ != nullptr) m_noops_->Inc();
         return;
       }
       // Failing a member out always succeeds.
       PFS_CHECK(mirror->SetMemberFailed(member, true).ok());
       fails_.Inc();
+      if (m_fails_ != nullptr) m_fails_->Inc();
       PFS_LOG_INFO("fault", "t=%.3fms: failed %s member %zu (%zu live)",
                    sched_->Now().ToSecondsF() * 1e3, mirror->name().c_str(), member,
                    mirror->live_member_count());
@@ -53,10 +66,12 @@ void FaultInjector::Apply(const PlannedEvent& planned) {
     case FaultAction::kReturn:
       if (!mirror->member_failed(member)) {
         noops_.Inc();
+        if (m_noops_ != nullptr) m_noops_->Inc();
         return;
       }
       planned.rebuild->RequestRebuild(member);
       returns_.Inc();
+      if (m_returns_ != nullptr) m_returns_->Inc();
       PFS_LOG_INFO("fault", "t=%.3fms: returned %s member %zu (debt %llu B)",
                    sched_->Now().ToSecondsF() * 1e3, mirror->name().c_str(), member,
                    static_cast<unsigned long long>(mirror->debt_sectors(member) *

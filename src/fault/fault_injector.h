@@ -26,6 +26,9 @@
 
 namespace pfs {
 
+class MetricRegistry;
+class CounterMetric;
+
 // Shard-affine (ShardAffine): each injector drives mirrors owned by one
 // shard, so Apply asserts it runs on that shard's loop.
 class FaultInjector : public StatSource, public ShardAffine {
@@ -63,6 +66,10 @@ class FaultInjector : public StatSource, public ShardAffine {
   // the suffix (".shard<i>") keeps the registry names distinct.
   void set_stat_suffix(std::string suffix) { stat_suffix_ = std::move(suffix); }
 
+  // Registers fault_events_total{kind=...} with the live metrics plane;
+  // `shard_label` distinguishes the per-shard injectors.
+  void BindMetrics(MetricRegistry* registry, uint32_t shard_label);
+
   // StatSource
   std::string stat_name() const override { return "fault.injector" + stat_suffix_; }
   std::string StatReport(bool with_histograms) const override;
@@ -80,6 +87,9 @@ class FaultInjector : public StatSource, public ShardAffine {
   Counter fails_;
   Counter returns_;
   Counter noops_;
+  CounterMetric* m_fails_ = nullptr;  // live metrics plane (null until bound)
+  CounterMetric* m_returns_ = nullptr;
+  CounterMetric* m_noops_ = nullptr;
 };
 
 }  // namespace pfs

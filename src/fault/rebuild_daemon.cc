@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/log.h"
+#include "obs/metrics.h"
 
 namespace pfs {
 
@@ -23,6 +24,17 @@ void RebuildDaemon::Start() {
   sched_->SpawnDaemon("rebuild." + mirror_->name(), Loop());
 }
 
+void RebuildDaemon::BindMetrics(MetricRegistry* registry) {
+  const std::string labels = "volume=\"" + mirror_->name() + "\"";
+  m_requests_ = registry->Counter("rebuild_requests_total", "Member rebuilds requested", labels);
+  m_completed_ =
+      registry->Counter("rebuild_completed_total", "Members rebuilt and reinstated", labels);
+  m_aborted_ = registry->Counter("rebuild_aborted_total", "Rebuild passes aborted on copy "
+                                 "failure", labels);
+  m_copied_bytes_ =
+      registry->Counter("rebuild_copied_bytes_total", "Debt bytes copied back", labels);
+}
+
 void RebuildDaemon::RequestRebuild(size_t member) {
   PFS_ASSERT_SHARD();
   PFS_CHECK(member < mirror_->member_count());
@@ -35,6 +47,7 @@ void RebuildDaemon::RequestRebuild(size_t member) {
     }
   }
   requests_.Inc();
+  if (m_requests_ != nullptr) m_requests_->Inc();
   pending_.push_back(member);
   work_.Signal();
 }
@@ -77,12 +90,14 @@ Task<> RebuildDaemon::RebuildMember(size_t member) {
     if (!status.ok()) {
       mirror_->PushDebtExtent(member, sector, count);
       aborted_.Inc();
+      if (m_aborted_ != nullptr) m_aborted_->Inc();
       PFS_LOG_WARN("rebuild", "%s member %zu aborted: %s", mirror_->name().c_str(), member,
                    status.ToString().c_str());
       failed = true;
       break;
     }
     rebuilt_sectors_.Inc(count);
+    if (m_copied_bytes_ != nullptr) m_copied_bytes_->Inc(bytes);
     mirror_->NoteRebuildCopied(count);
     if (options_.bw_kbps > 0) {
       co_await sched_->Sleep(Duration::SecondsF(
@@ -108,6 +123,7 @@ Task<> RebuildDaemon::RebuildMember(size_t member) {
     // reinstated under us (a no-op OkStatus) — completed either way.
     PFS_CHECK(mirror_->SetMemberFailed(member, false).ok());
     completed_.Inc();
+    if (m_completed_ != nullptr) m_completed_->Inc();
   }
 }
 

@@ -23,6 +23,9 @@
 
 namespace pfs {
 
+class MetricRegistry;
+class CounterMetric;
+
 // Shard-affine (ShardAffine): the daemon, its mirror, and the debt ledger all
 // live on the mirror's shard; RequestRebuild asserts the caller's loop.
 class RebuildDaemon : public StatSource, public ShardAffine {
@@ -53,6 +56,10 @@ class RebuildDaemon : public StatSource, public ShardAffine {
   uint64_t rebuilt_sectors() const { return rebuilt_sectors_.value(); }
   Duration busy_time() const { return Duration::Nanos(busy_ns_); }
 
+  // Registers rebuild_* families (labelled {volume="<mirror>"}) with the
+  // live metrics plane.
+  void BindMetrics(MetricRegistry* registry);
+
   // StatSource
   std::string stat_name() const override { return "rebuild." + mirror_->name(); }
   std::string StatReport(bool with_histograms) const override;
@@ -80,6 +87,12 @@ class RebuildDaemon : public StatSource, public ShardAffine {
   Counter aborted_;
   Counter rebuilt_sectors_;
   int64_t busy_ns_ = 0;
+
+  // Live metrics plane (null until BindMetrics).
+  CounterMetric* m_requests_ = nullptr;
+  CounterMetric* m_completed_ = nullptr;
+  CounterMetric* m_aborted_ = nullptr;
+  CounterMetric* m_copied_bytes_ = nullptr;
 };
 
 }  // namespace pfs

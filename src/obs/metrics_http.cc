@@ -1,0 +1,154 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace pfs {
+
+namespace {
+
+// Full blocking write with EINTR retry; gives up on any other error (the
+// scraper hung up — nothing useful to do about it on a diagnostics port).
+void WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void WriteResponse(int fd, int code, const char* reason, const std::string& content_type,
+                   const std::string& body) {
+  char header[256];
+  int n = snprintf(header, sizeof(header),
+                   "HTTP/1.0 %d %s\r\n"
+                   "Content-Type: %s\r\n"
+                   "Content-Length: %zu\r\n"
+                   "Connection: close\r\n"
+                   "\r\n",
+                   code, reason, content_type.c_str(), body.size());
+  WriteAll(fd, header, static_cast<size_t>(n));
+  WriteAll(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+void MetricsHttpServer::Handle(const std::string& path, MetricsHttpHandler handler) {
+  handlers_.emplace_back(path, std::move(handler));
+}
+
+Status MetricsHttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status(ErrorCode::kIoError,
+                  std::string("metrics: socket() failed: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  // Loopback only: the scrape port exposes internal state and has no auth.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(requested_port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    Status status(ErrorCode::kIoError, std::string("metrics: bind/listen on port ") +
+                                           std::to_string(requested_port_) +
+                                           " failed: " + strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  // Resolve the bound port (meaningful for an ephemeral bind of port 0).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return OkStatus();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::Serve() {
+  // Nonblocking accept under a short poll: the 100 ms timeout bounds how
+  // long Stop() waits for the thread to notice the flag.
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // One bounded read is enough: scrapers send a short GET and nothing we
+  // serve looks at headers or a body. Poll so a dribbling client cannot
+  // wedge the listener thread.
+  char buf[2048];
+  size_t used = 0;
+  while (used < sizeof(buf) - 1) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 500) <= 0) return;  // slow client: drop it
+    ssize_t n = ::read(fd, buf + used, sizeof(buf) - 1 - used);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    used += static_cast<size_t>(n);
+    buf[used] = '\0';
+    if (strstr(buf, "\r\n") != nullptr || strchr(buf, '\n') != nullptr) break;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: "GET <path> HTTP/1.x". Anything else is a 405/400.
+  if (strncmp(buf, "GET ", 4) != 0) {
+    WriteResponse(fd, 405, "Method Not Allowed", "text/plain", "GET only\n");
+    return;
+  }
+  const char* start = buf + 4;
+  const char* end = start;
+  while (*end != '\0' && *end != ' ' && *end != '\r' && *end != '\n' && *end != '?') ++end;
+  std::string path(start, static_cast<size_t>(end - start));
+
+  for (const auto& [handler_path, handler] : handlers_) {
+    if (handler_path != path) continue;
+    std::string body;
+    std::string content_type = "text/plain; charset=utf-8";
+    if (!handler(&body, &content_type)) {
+      WriteResponse(fd, 503, "Service Unavailable", "text/plain", "unavailable\n");
+      return;
+    }
+    WriteResponse(fd, 200, "OK", content_type, body);
+    return;
+  }
+  WriteResponse(fd, 404, "Not Found", "text/plain", "unknown path\n");
+}
+
+}  // namespace pfs

@@ -1,0 +1,81 @@
+// Minimal HTTP scrape listener for the live metrics plane: a nonblocking TCP
+// socket on 127.0.0.1 serviced by one dedicated OS thread, serving
+// Prometheus text at /metrics, liveness + per-shard progress at /healthz,
+// and the current ReportJson at /statz.
+//
+// The listener thread never enters scheduler control and never touches
+// component state: /metrics and /healthz read only the relaxed-atomic metric
+// cells and scheduler stat counters, so scraping a run under load is
+// race-free and cannot violate shard affinity. /statz needs the non-atomic
+// StatSource reports, so its handler is injected by the system builder and
+// gathers via a posted coroutine on shard 0 (and CallOn hops for the rest),
+// failing over to 503 when the schedulers are quiescing.
+//
+// HTTP support is deliberately tiny: HTTP/1.0 semantics, GET only,
+// Connection: close, one short-lived blocking-write connection at a time.
+// Scrapers poll at ~1 Hz; this is a diagnostics port, not a web server.
+#ifndef PFS_OBS_METRICS_HTTP_H_
+#define PFS_OBS_METRICS_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace pfs {
+
+class MetricRegistry;
+
+// A handler returns the response body and sets `content_type`; returning
+// false sends 503 Service Unavailable instead (e.g. /statz after teardown
+// has begun).
+using MetricsHttpHandler = std::function<bool(std::string* body, std::string* content_type)>;
+
+class MetricsHttpServer {
+ public:
+  // `port` 0 binds an ephemeral port (read it back from port() after
+  // Start()); any other value binds that port on 127.0.0.1.
+  explicit MetricsHttpServer(uint16_t port) : requested_port_(port) {}
+  ~MetricsHttpServer() { Stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Registers `handler` for an exact request path ("/metrics"). All
+  // registration must happen before Start(): the listener thread reads the
+  // table without a lock.
+  void Handle(const std::string& path, MetricsHttpHandler handler);
+
+  // Binds + listens + spawns the listener thread. Fails (without a thread)
+  // when the port is taken or sockets are unavailable.
+  Status Start();
+
+  // Stops accepting, joins the listener thread, closes the socket.
+  // Idempotent; safe when Start() was never called or failed.
+  void Stop();
+
+  // The bound port (resolved from an ephemeral bind); 0 before Start().
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  const uint16_t requested_port_;
+  std::vector<std::pair<std::string, MetricsHttpHandler>> handlers_;
+  int listen_fd_ = -1;
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace pfs
+
+#endif  // PFS_OBS_METRICS_HTTP_H_

@@ -5,9 +5,10 @@
 namespace pfs {
 
 double SchedStats::DepthPercentile(double q) const {
-  const uint64_t* buckets = sched_->mailbox_depth_buckets();
+  uint64_t buckets[kMailboxDepthBuckets];
   uint64_t total = 0;
   for (size_t i = 0; i < kMailboxDepthBuckets; ++i) {
+    buckets[i] = sched_->mailbox_depth_bucket(i);
     total += buckets[i];
   }
   if (total == 0) {
@@ -38,15 +39,15 @@ std::string SchedStats::StatReport(bool with_histograms) const {
                 sched_->live_thread_count());
   std::string out(buf);
   if (with_histograms) {
-    const uint64_t* buckets = sched_->mailbox_depth_buckets();
     out += "drain-depth histogram (log2 buckets):\n";
     for (size_t i = 0; i < kMailboxDepthBuckets; ++i) {
-      if (buckets[i] == 0) {
+      const uint64_t count = sched_->mailbox_depth_bucket(i);
+      if (count == 0) {
         continue;
       }
       std::snprintf(buf, sizeof(buf), "  <=%llu: %llu\n",
                     static_cast<unsigned long long>(1ull << i),
-                    static_cast<unsigned long long>(buckets[i]));
+                    static_cast<unsigned long long>(count));
       out += buf;
     }
   }

@@ -1,10 +1,13 @@
 #include "obs/stats_sampler.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "core/check.h"
+#include "obs/metrics.h"
 #include "sched/shard.h"
 
 namespace pfs {
@@ -14,6 +17,26 @@ StatsSampler::StatsSampler(Scheduler* sched, StatsRegistry* stats, Duration inte
   PFS_CHECK(sched != nullptr);
   PFS_CHECK(stats != nullptr);
   PFS_CHECK(interval > Duration());
+}
+
+StatsSampler::~StatsSampler() {
+  if (out_ != nullptr) {
+    std::fflush(out_);
+    ::fsync(fileno(out_));
+    std::fclose(out_);
+  }
+}
+
+Status StatsSampler::OpenOutput(const std::string& path, size_t flush_every) {
+  PFS_CHECK_MSG(!started_, "OpenOutput after Start");
+  PFS_CHECK_MSG(out_ == nullptr, "OpenOutput called twice");
+  PFS_CHECK(flush_every > 0);
+  out_ = std::fopen(path.c_str(), "w");
+  if (out_ == nullptr) {
+    return Status(ErrorCode::kIoError, "open " + path + ": " + std::strerror(errno));
+  }
+  flush_every_ = flush_every;
+  return OkStatus();
 }
 
 void StatsSampler::Start() {
@@ -33,9 +56,27 @@ Task<> StatsSampler::Loop() {
   }
 }
 
+void StatsSampler::PushSample(double t_ms, std::string stats_json) {
+  SamplePoint sample;
+  sample.t_ms = t_ms;
+  sample.stats_json = std::move(stats_json);
+  if (metrics_ != nullptr) {
+    sample.metrics_json = metrics_->JsonSnapshot();
+  }
+  if (out_ != nullptr) {
+    const std::string line = LineJson(sample) + "\n";
+    std::fwrite(line.data(), 1, line.size(), out_);
+    if (++unflushed_ >= flush_every_) {
+      std::fflush(out_);
+      ::fsync(fileno(out_));
+      unflushed_ = 0;
+    }
+  }
+  samples_.push_back(std::move(sample));
+}
+
 void StatsSampler::SampleNow() {
-  samples_.push_back(Sample{static_cast<double>(sched_->Now().nanos()) / 1e6,
-                            stats_->ReportJson()});
+  PushSample(static_cast<double>(sched_->Now().nanos()) / 1e6, stats_->ReportJson());
 }
 
 Task<> StatsSampler::SampleSharded() {
@@ -61,32 +102,46 @@ Task<> StatsSampler::SampleSharded() {
     }
   }
   out += "}";
-  samples_.push_back(Sample{t_ms, std::move(out)});
+  PushSample(t_ms, std::move(out));
+}
+
+std::string StatsSampler::LineJson(const SamplePoint& sample) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"t_ms\":%.3f,\"stats\":", sample.t_ms);
+  std::string out(buf);
+  out += sample.stats_json;
+  if (!sample.metrics_json.empty()) {
+    out += ",\"metrics\":";
+    out += sample.metrics_json;
+  }
+  out += "}";
+  return out;
 }
 
 std::string StatsSampler::SeriesJson() const {
   std::string out = "[";
-  char buf[64];
   for (size_t i = 0; i < samples_.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%s{\"t_ms\":%.3f,\"stats\":", i == 0 ? "" : ",",
-                  samples_[i].t_ms);
-    out += buf;
-    out += samples_[i].stats_json;
-    out += "}";
+    if (i > 0) {
+      out += ",";
+    }
+    out += LineJson(samples_[i]);
   }
   out += "]";
   return out;
 }
 
 Status StatsSampler::WriteFile(const std::string& path) const {
-  const std::string json = SeriesJson();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status(ErrorCode::kIoError, "open " + path + ": " + std::strerror(errno));
   }
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = true;
+  for (const SamplePoint& sample : samples_) {
+    const std::string line = LineJson(sample) + "\n";
+    ok = ok && std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  }
   const int close_rc = std::fclose(f);
-  if (written != json.size() || close_rc != 0) {
+  if (!ok || close_rc != 0) {
     return Status(ErrorCode::kIoError, "write " + path);
   }
   return OkStatus();

@@ -1,15 +1,19 @@
 // StatsSampler: a transient daemon that snapshots StatsRegistry::ReportJson()
-// every N ms into a time-series array, so runs emit latency/throughput
-// *curves* instead of one end-of-run scalar. Snapshots are cumulative (the
-// sampler never calls ResetIntervalAll — interval semantics stay owned by
-// whoever drives StatReport); consumers difference adjacent samples to get
-// rates.
+// every N ms into a time-series, so runs emit latency/throughput *curves*
+// instead of one end-of-run scalar. Snapshots are cumulative (the sampler
+// never calls ResetIntervalAll — interval semantics stay owned by whoever
+// drives StatReport); consumers difference adjacent samples to get rates.
+//
+// With OpenOutput() the series also streams to disk incrementally: each
+// sample appends one NDJSON line and the file is fsync'd every `flush_every`
+// samples, so a crashed or killed run keeps everything but the tail.
 //
 // Deliberately NOT a StatSource: registering it would recurse through
 // ReportJson().
 #ifndef PFS_OBS_STATS_SAMPLER_H_
 #define PFS_OBS_STATS_SAMPLER_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -20,10 +24,19 @@
 namespace pfs {
 
 class SchedulerGroup;
+class MetricRegistry;
+
+// One snapshot: the clock stamp plus the JSON fragments gathered at it.
+struct SamplePoint {
+  double t_ms;
+  std::string stats_json;
+  std::string metrics_json;  // empty when no MetricRegistry is attached
+};
 
 class StatsSampler {
  public:
   StatsSampler(Scheduler* sched, StatsRegistry* stats, Duration interval);
+  ~StatsSampler();
 
   StatsSampler(const StatsSampler&) = delete;
   StatsSampler& operator=(const StatsSampler&) = delete;
@@ -34,6 +47,15 @@ class StatsSampler {
   // shard's loop* (via CallOn round trips) instead of reading foreign
   // counters directly. Call before Start().
   void set_group(SchedulerGroup* group) { group_ = group; }
+
+  // Live metrics plane: when set, every sample carries a "metrics" object
+  // (MetricRegistry::JsonSnapshot()) next to "stats". Call before Start().
+  void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
+
+  // Streams samples to `path` as NDJSON, fsync'ing every `flush_every`
+  // samples (and on destruction). Call before Start().
+  Status OpenOutput(const std::string& path, size_t flush_every);
+  bool streaming() const { return out_ != nullptr; }
 
   // Spawns the sampling daemon (transient: neither keeps Run() alive nor
   // leaves a finished record).
@@ -46,23 +68,29 @@ class StatsSampler {
 
   // `[{"t_ms":<clock ms>,"stats":<ReportJson()>}, ...]`
   std::string SeriesJson() const;
+  // One `{"t_ms":...,"stats":...}` line per sample (NDJSON, the same shape
+  // OpenOutput streams).
   Status WriteFile(const std::string& path) const;
 
  private:
   Task<> Loop();
   Task<> SampleSharded();
+  // "{"t_ms":...,"stats":<json>[,"metrics":<snapshot>]}" for one sample.
+  std::string LineJson(const SamplePoint& sample) const;
+  void PushSample(double t_ms, std::string stats_json);
 
   Scheduler* sched_;
   StatsRegistry* stats_;
   Duration interval_;
   SchedulerGroup* group_ = nullptr;
+  MetricRegistry* metrics_ = nullptr;
 
-  struct Sample {
-    double t_ms;
-    std::string stats_json;
-  };
-  std::vector<Sample> samples_;
+  std::vector<SamplePoint> samples_;
   bool started_ = false;
+
+  std::FILE* out_ = nullptr;  // incremental NDJSON stream (OpenOutput)
+  size_t flush_every_ = 1;
+  size_t unflushed_ = 0;
 };
 
 }  // namespace pfs

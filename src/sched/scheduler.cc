@@ -146,7 +146,10 @@ void Scheduler::RunOne() {
 
   t->state_ = ThreadState::kRunning;
   current_ = t;
-  ++context_switches_;
+  // Single-writer relaxed bump (this loop's own OS thread); a plain ++ would
+  // be an RMW on the hottest path in the scheduler.
+  context_switches_.store(context_switches_.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
   std::coroutine_handle<> h = std::exchange(t->resume_point_, nullptr);
   PFS_CHECK_MSG(h != nullptr, "runnable thread with no resume point");
   Scheduler* prev = std::exchange(g_current_scheduler, this);
@@ -246,9 +249,12 @@ void Scheduler::DrainPosted() {
   if (bucket >= kMailboxDepthBuckets) {
     bucket = kMailboxDepthBuckets - 1;
   }
-  ++mailbox_depth_[bucket];
-  ++mailbox_drains_;
-  posts_received_ += batch.size();
+  mailbox_depth_[bucket].store(mailbox_depth_[bucket].load(std::memory_order_relaxed) + 1,
+                               std::memory_order_relaxed);
+  mailbox_drains_.store(mailbox_drains_.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  posts_received_.store(posts_received_.load(std::memory_order_relaxed) + batch.size(),
+                        std::memory_order_relaxed);
   Scheduler* prev = std::exchange(g_current_scheduler, this);
   for (auto& fn : batch) {
     fn();
@@ -316,14 +322,16 @@ void Scheduler::WaitRealUntil(TimePoint t) {
   const int64_t wait_start = SteadyNowNanos();
   post_cv_.wait_for(lk, std::chrono::nanoseconds(remaining.nanos()),
                     [&] { return !posted_.empty() || stop_.load(); });
-  idle_ns_ += SteadyNowNanos() - wait_start;
+  idle_ns_.store(idle_ns_.load(std::memory_order_relaxed) + (SteadyNowNanos() - wait_start),
+                 std::memory_order_relaxed);
 }
 
 void Scheduler::WaitRealForever() {
   std::unique_lock<std::mutex> lk(post_mu_);
   const int64_t wait_start = SteadyNowNanos();
   post_cv_.wait(lk, [&] { return !posted_.empty() || stop_.load(); });
-  idle_ns_ += SteadyNowNanos() - wait_start;
+  idle_ns_.store(idle_ns_.load(std::memory_order_relaxed) + (SteadyNowNanos() - wait_start),
+                 std::memory_order_relaxed);
 }
 
 void Scheduler::Run() {
@@ -414,7 +422,9 @@ void Scheduler::Post(std::function<void()> fn) {
                 "work would never run");
   Scheduler* sender = Current();
   if (sender != nullptr && sender != this) {
-    ++sender->cross_posts_sent_;
+    sender->cross_posts_sent_.store(
+        sender->cross_posts_sent_.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
   }
   if (group_ != nullptr) {
     group_->NoteWorkBegun();

@@ -201,13 +201,19 @@ class Scheduler {
   uint32_t shard_index() const { return shard_index_; }
   SchedulerGroup* group() { return group_; }
 
-  // -- per-shard scheduling statistics (the "sched" StatSource reads these;
-  // each counter is written only from this scheduler's own OS thread) -------
-  uint64_t posts_received() const { return posts_received_; }
-  uint64_t cross_posts_sent() const { return cross_posts_sent_; }
-  uint64_t mailbox_drains() const { return mailbox_drains_; }
-  int64_t idle_nanos() const { return idle_ns_; }
-  const uint64_t* mailbox_depth_buckets() const { return mailbox_depth_; }
+  // -- per-shard scheduling statistics (the "sched" StatSource and the live
+  // metrics plane read these; each counter is written only from this
+  // scheduler's own OS thread, as a relaxed atomic so a scrape thread can
+  // read a torn-free value mid-run) -----------------------------------------
+  uint64_t posts_received() const { return posts_received_.load(std::memory_order_relaxed); }
+  uint64_t cross_posts_sent() const {
+    return cross_posts_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t mailbox_drains() const { return mailbox_drains_.load(std::memory_order_relaxed); }
+  int64_t idle_nanos() const { return idle_ns_.load(std::memory_order_relaxed); }
+  uint64_t mailbox_depth_bucket(size_t i) const {
+    return mailbox_depth_[i].load(std::memory_order_relaxed);
+  }
 
   // Thread-safe in-flight accounting for work running on *other* OS threads
   // (the real disk driver's I/O executor). While any external op is pending,
@@ -224,7 +230,9 @@ class Scheduler {
   auto Yield() { return YieldAwaiter{this}; }
 
   Thread* current_thread() { return current_; }
-  uint64_t context_switches() const { return context_switches_; }
+  uint64_t context_switches() const {
+    return context_switches_.load(std::memory_order_relaxed);
+  }
   size_t live_thread_count() const;
   // All retained records, finished or not (transient ones drop out on
   // finish) — lets tests assert per-request spawns do not accumulate.
@@ -312,7 +320,9 @@ class Scheduler {
   Thread* current_ = nullptr;
   uint64_t next_thread_id_ = 1;
   uint64_t next_delay_seq_ = 0;
-  uint64_t context_switches_ = 0;
+  // Relaxed atomic, single writer (this loop's OS thread): the live metrics
+  // listener reads it from its own thread mid-run.
+  std::atomic<uint64_t> context_switches_{0};
   size_t live_non_daemon_ = 0;
   bool keep_alive_ = false;
   std::atomic<bool> stop_{false};
@@ -334,11 +344,13 @@ class Scheduler {
 
   // Per-shard scheduling stats; written only from this scheduler's own OS
   // thread (cross_posts_sent_ is charged to the *sender's* scheduler).
-  uint64_t posts_received_ = 0;
-  uint64_t cross_posts_sent_ = 0;
-  uint64_t mailbox_drains_ = 0;
-  int64_t idle_ns_ = 0;
-  uint64_t mailbox_depth_[kMailboxDepthBuckets] = {};
+  // Relaxed atomics (single writer) so the metrics scrape thread may read
+  // them while the loops run.
+  std::atomic<uint64_t> posts_received_{0};
+  std::atomic<uint64_t> cross_posts_sent_{0};
+  std::atomic<uint64_t> mailbox_drains_{0};
+  std::atomic<int64_t> idle_ns_{0};
+  std::atomic<uint64_t> mailbox_depth_[kMailboxDepthBuckets] = {};
 };
 
 }  // namespace pfs

@@ -1,6 +1,7 @@
 #include "system/system_builder.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "driver/file_backed_driver.h"
@@ -380,6 +381,12 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
     if (sys.group_ != nullptr) {
       sys.sampler_->set_group(sys.group_.get());
     }
+    if (!config.trace.file.empty()) {
+      // Stream samples incrementally (fsync every 8) so an interrupted run
+      // keeps its curve; ExportObservability skips the end-of-run rewrite.
+      PFS_RETURN_IF_ERROR(
+          sys.sampler_->OpenOutput(TraceSamplesPath(config.trace.file), /*flush_every=*/8));
+    }
   }
 
   // File systems over their volumes, each pinned to its shard. The default
@@ -467,6 +474,57 @@ Result<std::unique_ptr<System>> SystemBuilder::Build(const SystemConfig& config)
       }
       sys.stats_.Register(injector.get(), shard_sched(s));
       sys.injectors_[static_cast<size_t>(s)] = std::move(injector);
+    }
+  }
+
+  // Live metrics plane: one registry sized to the shard count, every
+  // component bound to it. Scheduler counters are exposed as callbacks over
+  // their (relaxed) atomics — no extra writes on the hot loop.
+  if (config.metrics.enabled) {
+    sys.metrics_ = std::make_unique<MetricRegistry>(static_cast<size_t>(nshards),
+                                                    config.metrics.prefix);
+    MetricRegistry* reg = sys.metrics_.get();
+    for (int s = 0; s < nshards; ++s) {
+      Scheduler* sched = shard_sched(s);
+      char labels[32];
+      std::snprintf(labels, sizeof(labels), "shard=\"%d\"", s);
+      reg->AddCallback("sched_steps_total", "Coroutine resumes", MetricKind::kCounter, labels,
+                       [sched] { return static_cast<double>(sched->context_switches()); });
+      reg->AddCallback("sched_posts_total", "Cross-shard posts received", MetricKind::kCounter,
+                       labels,
+                       [sched] { return static_cast<double>(sched->posts_received()); });
+      reg->AddCallback("sched_cross_posts_total", "Cross-shard posts sent",
+                       MetricKind::kCounter, labels,
+                       [sched] { return static_cast<double>(sched->cross_posts_sent()); });
+      reg->AddCallback("sched_mailbox_drains_total", "Mailbox drain passes",
+                       MetricKind::kCounter, labels,
+                       [sched] { return static_cast<double>(sched->mailbox_drains()); });
+      reg->AddCallback("sched_idle_seconds_total", "Real time spent waiting for work",
+                       MetricKind::kCounter, labels,
+                       [sched] { return static_cast<double>(sched->idle_nanos()) * 1e-9; });
+    }
+    for (auto& driver : sys.drivers_) {
+      driver->BindMetrics(reg);
+    }
+    for (size_t s = 0; s < sys.caches_.size(); ++s) {
+      sys.caches_[s]->BindMetrics(reg, static_cast<uint32_t>(s));
+    }
+    for (auto& volume : sys.fs_volumes_) {
+      volume->BindMetrics(reg);
+    }
+    for (auto& rebuild : sys.rebuild_daemons_) {
+      if (rebuild != nullptr) {
+        rebuild->BindMetrics(reg);
+      }
+    }
+    for (size_t s = 0; s < sys.injectors_.size(); ++s) {
+      if (sys.injectors_[s] != nullptr) {
+        sys.injectors_[s]->BindMetrics(reg, static_cast<uint32_t>(s));
+      }
+    }
+    sys.client_->BindMetrics(reg);
+    if (sys.sampler_ != nullptr) {
+      sys.sampler_->set_metrics(reg);
     }
   }
   return system;
@@ -584,13 +642,94 @@ Status System::Setup() {
   if (sampler_ != nullptr) {
     sampler_->Start();
   }
+  if (metrics_ != nullptr) {
+    PFS_RETURN_IF_ERROR(StartMetricsHttp());
+  }
   return OkStatus();
+}
+
+Status System::StartMetricsHttp() {
+  metrics_http_ =
+      std::make_unique<MetricsHttpServer>(static_cast<uint16_t>(config_.metrics.port));
+  MetricRegistry* reg = metrics_.get();
+  metrics_http_->Handle("/metrics", [reg](std::string* body, std::string* content_type) {
+    *body = reg->PrometheusText();
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  });
+  metrics_http_->Handle("/healthz", [this](std::string* body, std::string* content_type) {
+    // Liveness + per-shard progress from atomics only: always safe, even
+    // after the schedulers have closed.
+    std::string out = "{\"ok\":true,\"scrapes\":" + std::to_string(metrics_->scrapes()) +
+                      ",\"shards\":[";
+    for (int s = 0; s < shard_count(); ++s) {
+      Scheduler* sched = shard_scheduler(s);
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s{\"shard\":%d,\"steps\":%llu,\"posts\":%llu}",
+                    s == 0 ? "" : ",", s,
+                    static_cast<unsigned long long>(sched->context_switches()),
+                    static_cast<unsigned long long>(sched->posts_received()));
+      out += buf;
+    }
+    out += "]}";
+    *body = std::move(out);
+    *content_type = "application/json";
+    return true;
+  });
+  metrics_http_->Handle("/statz", [this](std::string* body, std::string* content_type) {
+    std::lock_guard<std::mutex> lock(statz_mu_);
+    if (statz_json_.empty()) {
+      return false;  // first refresh has not landed yet -> 503
+    }
+    *body = statz_json_;
+    *content_type = "application/json";
+    return true;
+  });
+  PFS_RETURN_IF_ERROR(metrics_http_->Start());
+  const uint32_t period_ms = config_.trace.sample_ms > 0 ? config_.trace.sample_ms : 500;
+  scheduler()->SpawnTransientDaemon("obs.statz", StatzRefresher(Duration::Millis(period_ms)));
+  return OkStatus();
+}
+
+Task<> System::StatzRefresher(Duration period) {
+  Scheduler* home = scheduler();
+  for (;;) {
+    std::string json;
+    if (group_ == nullptr) {
+      json = stats_.ReportJson();
+    } else {
+      json = "{";
+      for (size_t s = 0; s < group_->size(); ++s) {
+        Scheduler* shard = group_->shard(s);
+        StatsRegistry* stats = &stats_;
+        Scheduler* h = home;
+        // Named thunk, not a temporary in the co_await expression (GCC 12
+        // double-destroys non-trivial coroutine-argument temporaries).
+        auto body = [stats, shard, h]() -> Task<std::string> {
+          co_return stats->ReportJsonOwned(shard, /*include_unowned=*/shard == h);
+        };
+        std::string frag = co_await CallOn<std::string>(home, shard, body);
+        if (!frag.empty()) {
+          if (json.size() > 1) {
+            json += ",";
+          }
+          json += frag;
+        }
+      }
+      json += "}";
+    }
+    {
+      std::lock_guard<std::mutex> lock(statz_mu_);
+      statz_json_ = std::move(json);
+    }
+    co_await home->Sleep(period);
+  }
 }
 
 Status System::ExportObservability() {
   if (trace_sink_ != nullptr && !config_.trace.file.empty()) {
     PFS_RETURN_IF_ERROR(trace_sink_->WriteChromeTrace(config_.trace.file));
-    if (sampler_ != nullptr) {
+    if (sampler_ != nullptr && !sampler_->streaming()) {
       PFS_RETURN_IF_ERROR(sampler_->WriteFile(TraceSamplesPath(config_.trace.file)));
     }
   }

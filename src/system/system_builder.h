@@ -15,6 +15,7 @@
 #define PFS_SYSTEM_SYSTEM_BUILDER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,8 @@
 #include "fault/rebuild_daemon.h"
 #include "fs/file_system.h"
 #include "layout/storage_layout.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
 #include "obs/sched_stats.h"
 #include "obs/stats_sampler.h"
 #include "obs/trace.h"
@@ -160,9 +163,24 @@ class System {
   // scheduler is still alive.
   Status ExportObservability();
 
+  // The live metrics plane (config.metrics.*). Both null when
+  // metrics.enabled is off; the HTTP server exists only after Setup().
+  MetricRegistry* metrics() { return metrics_.get(); }
+  MetricsHttpServer* metrics_http() { return metrics_http_.get(); }
+  // The bound scrape port (resolves metrics.port == 0), 0 when no server.
+  uint16_t metrics_port() const {
+    return metrics_http_ != nullptr ? metrics_http_->port() : 0;
+  }
+
  private:
   friend class SystemBuilder;
   System() = default;
+
+  Status StartMetricsHttp();
+  // Refreshes the /statz cache on `period` by gathering ReportJson on the
+  // owning shards; the HTTP handler only ever reads the cached copy, so no
+  // scrape can post into (or race with) the schedulers.
+  Task<> StatzRefresher(Duration period);
 
   SystemConfig config_;
   // Exactly one of group_ (shards > 1) and sched_ (shards == 1) is set.
@@ -197,6 +215,13 @@ class System {
   std::vector<int> fs_shard_;  // one per file system
   std::vector<std::unique_ptr<SchedStats>> sched_stats_;  // one per shard
   StatsRegistry stats_;
+  // Live metrics plane. Declared last on purpose: the HTTP server's scrape
+  // thread reads the registry (and, via callbacks, scheduler atomics), so it
+  // must be joined — and the registry freed — before anything above dies.
+  std::unique_ptr<MetricRegistry> metrics_;
+  mutable std::mutex statz_mu_;
+  std::string statz_json_;  // last gathered ReportJson (see StatzRefresher)
+  std::unique_ptr<MetricsHttpServer> metrics_http_;
 };
 
 class SystemBuilder {

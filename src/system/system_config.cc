@@ -16,6 +16,7 @@
 #include <sstream>
 
 #include "fault/fault_schedule.h"
+#include "obs/metrics.h"
 #include "system/component_registry.h"
 
 namespace pfs {
@@ -439,6 +440,25 @@ Result<SystemConfig> SystemConfig::Parse(const std::string& text) {
         return fail(parsed.status());
       }
       config.trace.ring_capacity = static_cast<uint32_t>(*parsed);
+    } else if (key == "metrics.enabled") {
+      auto parsed = ParseBool(value);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.metrics.enabled = *parsed;
+    } else if (key == "metrics.port") {
+      auto parsed = ParseUintMax(value, 65535);
+      if (!parsed.ok()) {
+        return fail(parsed.status());
+      }
+      config.metrics.port = static_cast<uint32_t>(*parsed);
+    } else if (key == "metrics.prefix") {
+      if (!ValidMetricPrefix(value)) {
+        return fail(Status(ErrorCode::kInvalidArgument,
+                           "metrics.prefix must match [a-zA-Z_][a-zA-Z0-9_]* (got \"" + value +
+                               "\")"));
+      }
+      config.metrics.prefix = value;
     } else if (key == "host.mem_bandwidth_bytes_per_sec") {
       auto parsed = ParseBytes(value);
       if (!parsed.ok()) {
@@ -675,6 +695,9 @@ std::string SystemConfig::ToString() const {
   out << "trace.file = " << trace.file << "\n";
   out << "trace.sample_ms = " << trace.sample_ms << "\n";
   out << "trace.ring_capacity = " << trace.ring_capacity << "\n";
+  out << "metrics.enabled = " << (metrics.enabled ? "true" : "false") << "\n";
+  out << "metrics.port = " << metrics.port << "\n";
+  out << "metrics.prefix = " << metrics.prefix << "\n";
   out << "\n# simulated host model\n";
   out << "host.mem_bandwidth_bytes_per_sec = " << host.mem_bandwidth_bytes_per_sec << "\n";
   out << "host.per_op_cpu_ns = " << host.per_op_cpu.nanos() << "\n";

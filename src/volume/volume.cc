@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "system/component_registry.h"
 
@@ -37,6 +38,7 @@ Task<> FragmentIo(Scheduler* sched, Volume* volume, bool is_write, const Volume:
   const bool traced = self != nullptr && self->trace.active();
   const TimePoint begin = sched->Now();
   *result = co_await volume->IoFragment(is_write, *f, out, in);
+  volume->NoteFragmentDone(f->member, begin);
   if (traced) {
     RecordSpan(self->trace, TraceStage::kFragment, self->id(), begin, sched->Now(), f->count);
   }
@@ -168,6 +170,7 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
   }
   if (fragments.size() == 1) {
     const Status status = co_await IoFragment(is_write, fragments[0], out, in);
+    NoteFragmentDone(fragments[0].member, op_begin);
     if (per_fragment != nullptr) {
       per_fragment->assign(1, status);
     }
@@ -218,10 +221,32 @@ Task<Status> Volume::RunFragments(bool is_write, std::span<std::byte> out,
 void Volume::OpFinish(TimePoint begin, uint64_t count) {
   const TimePoint end = sched_->Now();
   latency_.Record(end - begin);
+  if (m_latency_ != nullptr) {
+    m_requests_->Inc();
+    m_latency_->RecordDuration(end - begin);
+  }
   const Thread* self = sched_->current_thread();
   if (self != nullptr && self->trace.active()) {
     RecordSpan(self->trace, TraceStage::kVolume, self->id(), begin, end, count);
   }
+}
+
+void Volume::BindMetrics(MetricRegistry* registry) {
+  const std::string label = "volume=\"" + name_ + "\"";
+  m_requests_ = registry->Counter("volume_requests_total", "Requests entering this volume",
+                                  label);
+  m_latency_ = registry->Histogram("volume_request_seconds",
+                                   "Whole-request latency at the volume layer", label, 1e-9);
+  m_member_latency_.resize(members_.size());
+  for (size_t i = 0; i < members_.size(); ++i) {
+    m_member_latency_[i] = registry->Histogram(
+        "volume_fragment_seconds", "Per-member fragment service latency",
+        label + ",member=\"" + std::to_string(i) + "\"", 1e-9);
+  }
+}
+
+void Volume::RecordFragmentLatency(size_t member, TimePoint begin) {
+  m_member_latency_[member]->RecordDuration(sched_->Now() - begin);
 }
 
 std::string Volume::StatReport(bool with_histograms) const {
@@ -261,15 +286,26 @@ std::string Volume::StatJson() const {
   }
   std::snprintf(buf, sizeof(buf),
                 "],\"requests\":%llu,\"split_requests\":%llu,\"coalesced\":%llu,"
-                "\"bounce_bytes\":%llu,\"fanout_mean\":%.3f,"
-                "\"latency_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f}}",
+                "\"bounce_bytes\":%llu,\"fanout_mean\":%.3f,",
                 static_cast<unsigned long long>(requests_.value()),
                 static_cast<unsigned long long>(split_requests_.value()),
                 static_cast<unsigned long long>(coalesced_.value()),
-                static_cast<unsigned long long>(bounce_bytes_.value()), fanout_.mean(),
-                latency_.mean().ToMillisF(), latency_.Percentile(0.5).ToMillisF(),
-                latency_.Percentile(0.95).ToMillisF(), latency_.Percentile(0.99).ToMillisF());
+                static_cast<unsigned long long>(bounce_bytes_.value()), fanout_.mean());
   out += buf;
+  // When bound to the metrics registry, the percentile object comes from the
+  // cumulative HDR histogram — the same source a /metrics scrape reads — so
+  // the two always agree. Unbound systems keep the legacy interval histogram.
+  if (m_latency_ != nullptr) {
+    out += m_latency_->LatencyMsJsonObject("latency_ms");
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "\"latency_ms\":{\"mean\":%.4f,\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f}",
+                  latency_.mean().ToMillisF(), latency_.Percentile(0.5).ToMillisF(),
+                  latency_.Percentile(0.95).ToMillisF(),
+                  latency_.Percentile(0.99).ToMillisF());
+    out += buf;
+  }
+  out += "}";
   return out;
 }
 
@@ -301,6 +337,7 @@ Task<Status> SingleDiskVolume::Read(uint64_t sector, uint32_t count,
   member_reads_[0].Inc();
   fanout_.Record(1);
   const Status status = co_await members_[0]->Read(start_ + sector, count, out);
+  NoteFragmentDone(0, op_begin);
   OpFinish(op_begin, count);
   co_return status;
 }
@@ -313,6 +350,7 @@ Task<Status> SingleDiskVolume::Write(uint64_t sector, uint32_t count,
   member_writes_[0].Inc();
   fanout_.Record(1);
   const Status status = co_await members_[0]->Write(start_ + sector, count, in);
+  NoteFragmentDone(0, op_begin);
   OpFinish(op_begin, count);
   co_return status;
 }
@@ -523,6 +561,20 @@ void MirrorVolume::AddDebt(size_t i, uint64_t sector, uint32_t count) {
     it = debt.erase(it);
   }
   debt.emplace(start, end);
+  UpdateDebtGauge();
+}
+
+void MirrorVolume::UpdateDebtGauge() {
+  if (m_debt_bytes_ != nullptr) {
+    m_debt_bytes_->Set(static_cast<int64_t>(rebuild_debt_bytes()));
+  }
+}
+
+void MirrorVolume::BindMetrics(MetricRegistry* registry) {
+  Volume::BindMetrics(registry);
+  m_debt_bytes_ = registry->Gauge("volume_rebuild_debt_bytes",
+                                  "Outstanding mirror rebuild debt in bytes",
+                                  "volume=\"" + name_ + "\"");
 }
 
 uint64_t MirrorVolume::debt_sectors(size_t i) const {
@@ -556,6 +608,7 @@ std::optional<std::pair<uint64_t, uint32_t>> MirrorVolume::PopDebtExtent(
   if (start + take < end) {
     debt.emplace(start + take, end);
   }
+  UpdateDebtGauge();
   return std::make_pair(start, static_cast<uint32_t>(take));
 }
 

@@ -29,6 +29,11 @@
 
 namespace pfs {
 
+class MetricRegistry;
+class CounterMetric;
+class GaugeMetric;
+class HistogramMetric;
+
 // Volumes are shard-affine (ShardAffine): the constructor pins them to the
 // scheduler they are built on, and every Read/Write entry path asserts the
 // caller runs on that loop (foreign shards reach a volume only through a
@@ -57,6 +62,22 @@ class Volume : public BlockDevice, public StatSource, public ShardAffine {
   const Histogram& fanout_width() const { return fanout_; }
   uint64_t coalesced_fragments() const { return coalesced_.value(); }
   uint64_t bounce_bytes() const { return bounce_bytes_.value(); }
+
+  // Live metrics plane: creates this volume's registry metrics (request
+  // counter, request-latency histogram, per-member fragment-latency
+  // histograms) and switches the latency_ms object in StatJson to the
+  // registry histogram, so scrape output and StatJson agree by construction.
+  // Call during assembly, before the run; legacy counters keep recording
+  // either way. MirrorVolume adds its rebuild-debt gauge on top.
+  virtual void BindMetrics(MetricRegistry* registry);
+
+  // Per-member fragment latency when bound (no-op otherwise). Public because
+  // the fan-out workers (free coroutines) call it with their own stamps.
+  void NoteFragmentDone(size_t member, TimePoint begin) {
+    if (!m_member_latency_.empty()) {
+      RecordFragmentLatency(member, begin);
+    }
+  }
 
   // Fragment coalescing (on by default): merge adjacent same-member pieces
   // of a mapped request so each member sees at most one contiguous request
@@ -130,6 +151,14 @@ class Volume : public BlockDevice, public StatSource, public ShardAffine {
   std::string name_;
   std::vector<BlockDevice*> members_;
   uint32_t sector_bytes_;
+
+  void RecordFragmentLatency(size_t member, TimePoint begin);
+
+  // Registry metrics, null/empty until BindMetrics; written next to the
+  // legacy counters so unbound systems lose nothing.
+  CounterMetric* m_requests_ = nullptr;
+  HistogramMetric* m_latency_ = nullptr;
+  std::vector<HistogramMetric*> m_member_latency_;  // one per member
 
   Counter requests_;
   Counter split_requests_;  // requests split across distinct address ranges
@@ -288,6 +317,10 @@ class MirrorVolume final : public Volume {
   std::string StatReport(bool with_histograms) const override;
   std::string StatJson() const override;
 
+  // Base metrics plus the rebuild-debt gauge (updated at every debt
+  // mutation, so a scrape sees the outstanding debt live).
+  void BindMetrics(MetricRegistry* registry) override;
+
  private:
   // Live members, shortest queue first; `rr_` rotates equal-depth choices.
   std::vector<size_t> ReadOrder();
@@ -298,6 +331,11 @@ class MirrorVolume final : public Volume {
   void MarkMemberFailed(size_t i);
   // Merges [sector, sector + count) into member i's debt extents.
   void AddDebt(size_t i, uint64_t sector, uint32_t count);
+  // Refreshes the live rebuild-debt gauge after a debt mutation (no-op
+  // unbound). Runs on the owning shard, like every debt mutation.
+  void UpdateDebtGauge();
+
+  GaugeMetric* m_debt_bytes_ = nullptr;
 
   std::vector<bool> failed_;
   uint64_t total_ = 0;

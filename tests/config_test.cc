@@ -112,6 +112,42 @@ TEST(ConfigRoundTripTest, ShardKeysSurvive) {
   EXPECT_EQ(text, reparsed->ToString());
 }
 
+TEST(ConfigRoundTripTest, MetricsKeysSurvive) {
+  auto parsed = SystemConfig::Parse(
+      "backend = simulated\n"
+      "metrics.enabled = true\n"
+      "metrics.port = 9091\n"
+      "metrics.prefix = patsy\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->metrics.enabled);
+  EXPECT_EQ(parsed->metrics.port, 9091u);
+  EXPECT_EQ(parsed->metrics.prefix, "patsy");
+
+  const std::string text = parsed->ToString();
+  EXPECT_NE(text.find("metrics.enabled = true"), std::string::npos) << text;
+  EXPECT_NE(text.find("metrics.port = 9091"), std::string::npos) << text;
+  EXPECT_NE(text.find("metrics.prefix = patsy"), std::string::npos) << text;
+  auto reparsed = SystemConfig::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(text, reparsed->ToString());
+}
+
+TEST(ConfigParseTest, RejectsBadMetricsValuesWithLineNumbers) {
+  auto port = SystemConfig::Parse("seed = 1\nmetrics.port = 70000\n");
+  ASSERT_FALSE(port.ok());
+  EXPECT_EQ(port.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(port.status().message().find("line 2"), std::string::npos)
+      << port.status().ToString();
+
+  auto prefix = SystemConfig::Parse("seed = 1\nbackend = simulated\nmetrics.prefix = 9bad-prefix\n");
+  ASSERT_FALSE(prefix.ok());
+  EXPECT_EQ(prefix.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(prefix.status().message().find("line 3"), std::string::npos)
+      << prefix.status().ToString();
+  EXPECT_NE(prefix.status().message().find("metrics.prefix"), std::string::npos)
+      << prefix.status().ToString();
+}
+
 // Randomized configs: Parse(ToString(c)) must reproduce the serialization
 // and the validation verdict, whether or not the config is actually
 // buildable.
@@ -150,6 +186,9 @@ TEST(ConfigRoundTripTest, RandomizedConfigs) {
     config.image_path = "/tmp/pfs_random_" + std::to_string(round) + ".img";
     config.image_bytes = (8 + rng.NextBelow(64)) * kMiB;
     config.io_threads = 1 + static_cast<int>(rng.NextBelow(4));
+    config.metrics.enabled = rng.NextBelow(2) == 0;
+    config.metrics.port = static_cast<uint32_t>(rng.NextBelow(65536));
+    config.metrics.prefix = rng.NextBelow(2) == 0 ? "pfs" : "patsy_" + std::to_string(round);
     if (rng.NextBelow(2) == 0) {
       int total_disks = 0;
       for (int n : config.disks_per_bus) {
