@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -168,8 +169,11 @@ uint64_t HistogramMetric::Percentile(double q) const {
   uint64_t total = 0;
   for (uint64_t b : bins) total += b;
   if (total == 0) return 0;
-  // Rank of the q-quantile sample, 1-based, clamped into [1, total].
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  // Nearest-rank definition: the q-quantile is the ceil(q*total)-th sample
+  // (1-based, clamped into [1, total]). Truncating instead of ceiling would
+  // bias one sample low — worst at small counts, where p99 of two samples
+  // would report the smaller one.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
   if (rank < 1) rank = 1;
   if (rank > total) rank = total;
   uint64_t seen = 0;

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -15,11 +16,16 @@ namespace pfs {
 
 namespace {
 
-// Full blocking write with EINTR retry; gives up on any other error (the
-// scraper hung up — nothing useful to do about it on a diagnostics port).
+// Full write with EINTR retry; gives up on any other error (the scraper
+// hung up or stalled — nothing useful to do about it on a diagnostics port).
+// MSG_NOSIGNAL: a scraper that disconnects mid-response (scrape timeout,
+// curl --max-time) must surface as EPIPE here, not as a process-killing
+// SIGPIPE. The accepted fd carries SO_SNDTIMEO (see HandleConnection), so a
+// client that stops reading makes send() fail with EAGAIN after the timeout
+// instead of wedging the listener thread — and Stop() — forever.
 void WriteAll(int fd, const char* data, size_t len) {
   while (len > 0) {
-    ssize_t n = ::write(fd, data, len);
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;
@@ -110,6 +116,12 @@ void MetricsHttpServer::Serve() {
 }
 
 void MetricsHttpServer::HandleConnection(int fd) {
+  // Bound the write side the way the read side is bounded below: a client
+  // that sends a GET but never drains the response would otherwise park the
+  // listener thread in send() once the socket buffer fills.
+  timeval snd_timeout{/*tv_sec=*/2, /*tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd_timeout, sizeof(snd_timeout));
+
   // One bounded read is enough: scrapers send a short GET and nothing we
   // serve looks at headers or a body. Poll so a dribbling client cannot
   // wedge the listener thread.

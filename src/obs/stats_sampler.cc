@@ -20,6 +20,14 @@ StatsSampler::StatsSampler(Scheduler* sched, StatsRegistry* stats, Duration inte
 }
 
 StatsSampler::~StatsSampler() {
+  if (writer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writer_stop_ = true;
+    }
+    cv_.notify_one();
+    writer_.join();
+  }
   if (out_ != nullptr) {
     std::fflush(out_);
     ::fsync(fileno(out_));
@@ -36,7 +44,38 @@ Status StatsSampler::OpenOutput(const std::string& path, size_t flush_every) {
     return Status(ErrorCode::kIoError, "open " + path + ": " + std::strerror(errno));
   }
   flush_every_ = flush_every;
+  writer_ = std::thread([this] { WriterLoop(); });
   return OkStatus();
+}
+
+void StatsSampler::WriterLoop() {
+  // All blocking file work lives here: fwrite can block on a full page-cache
+  // writeback queue and fdatasync is an unbounded syscall — neither belongs
+  // on a scheduler thread, where they would stall every coroutine on the
+  // shard and distort the latency distributions being sampled.
+  size_t unflushed = 0;
+  for (;;) {
+    std::deque<std::string> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return writer_stop_ || !pending_.empty(); });
+      if (pending_.empty() && writer_stop_) break;
+      batch.swap(pending_);
+    }
+    for (const std::string& line : batch) {
+      std::fwrite(line.data(), 1, line.size(), out_);
+    }
+    unflushed += batch.size();
+    if (unflushed >= flush_every_) {
+      std::fflush(out_);
+      ::fdatasync(fileno(out_));
+      unflushed = 0;
+    }
+  }
+  if (unflushed > 0) {
+    std::fflush(out_);
+    ::fdatasync(fileno(out_));
+  }
 }
 
 void StatsSampler::Start() {
@@ -64,13 +103,13 @@ void StatsSampler::PushSample(double t_ms, std::string stats_json) {
     sample.metrics_json = metrics_->JsonSnapshot();
   }
   if (out_ != nullptr) {
-    const std::string line = LineJson(sample) + "\n";
-    std::fwrite(line.data(), 1, line.size(), out_);
-    if (++unflushed_ >= flush_every_) {
-      std::fflush(out_);
-      ::fsync(fileno(out_));
-      unflushed_ = 0;
+    // Hand the rendered line to the writer thread; file I/O (and the
+    // periodic sync) must not run on the scheduler thread.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(LineJson(sample) + "\n");
     }
+    cv_.notify_one();
   }
   samples_.push_back(std::move(sample));
 }

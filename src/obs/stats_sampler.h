@@ -5,16 +5,23 @@
 // drives StatReport); consumers difference adjacent samples to get rates.
 //
 // With OpenOutput() the series also streams to disk incrementally: each
-// sample appends one NDJSON line and the file is fsync'd every `flush_every`
-// samples, so a crashed or killed run keeps everything but the tail.
+// sample appends one NDJSON line and the file is sync'd every `flush_every`
+// samples, so a crashed or killed run keeps everything but the tail. The
+// stream-and-sync work runs on a dedicated writer thread — fsync on the
+// sampling coroutine would stall the shard's scheduler loop and distort the
+// very latencies being sampled — so the sampler only enqueues lines.
 //
 // Deliberately NOT a StatSource: registering it would recurse through
 // ReportJson().
 #ifndef PFS_OBS_STATS_SAMPLER_H_
 #define PFS_OBS_STATS_SAMPLER_H_
 
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/status.h"
@@ -52,8 +59,8 @@ class StatsSampler {
   // (MetricRegistry::JsonSnapshot()) next to "stats". Call before Start().
   void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
 
-  // Streams samples to `path` as NDJSON, fsync'ing every `flush_every`
-  // samples (and on destruction). Call before Start().
+  // Streams samples to `path` as NDJSON on a writer thread, syncing every
+  // `flush_every` samples (and on destruction). Call before Start().
   Status OpenOutput(const std::string& path, size_t flush_every);
   bool streaming() const { return out_ != nullptr; }
 
@@ -78,6 +85,9 @@ class StatsSampler {
   // "{"t_ms":...,"stats":<json>[,"metrics":<snapshot>]}" for one sample.
   std::string LineJson(const SamplePoint& sample) const;
   void PushSample(double t_ms, std::string stats_json);
+  // Writer-thread body: drains `pending_` into `out_`, syncing every
+  // `flush_every_` lines, plus once more on shutdown.
+  void WriterLoop();
 
   Scheduler* sched_;
   StatsRegistry* stats_;
@@ -88,9 +98,16 @@ class StatsSampler {
   std::vector<SamplePoint> samples_;
   bool started_ = false;
 
-  std::FILE* out_ = nullptr;  // incremental NDJSON stream (OpenOutput)
+  // Incremental NDJSON stream (OpenOutput). `out_` is touched only by the
+  // writer thread once it starts; the sampling coroutine just enqueues
+  // rendered lines under `mu_`.
+  std::FILE* out_ = nullptr;
   size_t flush_every_ = 1;
-  size_t unflushed_ = 0;
+  std::thread writer_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> pending_;
+  bool writer_stop_ = false;
 };
 
 }  // namespace pfs
